@@ -1,0 +1,123 @@
+// Adaptive-policy ablation (the paper's §2.4 future work, implemented in
+// core/adaptive_hcf.hpp): compare fixed policies against the adaptive
+// controller on workloads at both ends of the contention spectrum plus the
+// in-between case. The adaptive engine should track the better fixed
+// policy in each regime without per-workload hand-tuning.
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "core/engine.hpp"
+#include "harness/issuers.hpp"
+#include "mem/ebr.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace hcf;
+using Tree = ds::AvlTree<std::uint64_t>;
+
+std::unique_ptr<Tree> make_tree(std::uint64_t range) {
+  auto tree = std::make_unique<Tree>();
+  for (std::uint64_t k = 0; k < range; k += 2) tree->insert(k);
+  return tree;
+}
+
+template <typename Engine>
+harness::RunResult run_one(Engine& engine, const harness::WorkloadSpec& spec,
+                           std::size_t threads,
+                           const harness::DriverOptions& options) {
+  return harness::run_timed(
+      engine, threads,
+      [&](std::size_t t) {
+        return harness::AvlWorker<Engine>(engine, spec, 19 + t * 3);
+      },
+      options);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto opts = hcf::bench::BenchOptions::parse(argc, argv);
+  bench::print_header(
+      "Ablation: adaptive policy",
+      "AVL set; fixed policies vs the adaptive controller (Mops/s)");
+
+  struct Scenario {
+    const char* name;
+    harness::WorkloadSpec spec;
+  };
+  const std::uint32_t work =
+      opts.cs_work >= 0 ? static_cast<std::uint32_t>(opts.cs_work)
+                        : opts.amplified_work;
+  Scenario scenarios[] = {
+      {"read-heavy uniform (low contention)",
+       harness::WorkloadSpec::reads(90, 64 * 1024)},
+      {"update-heavy zipf (high contention)",
+       harness::WorkloadSpec::reads(0, 512, harness::KeyDist::Zipfian, 0.95)},
+      {"mixed zipf",
+       harness::WorkloadSpec::reads(50, 4096, harness::KeyDist::Zipfian,
+                                    0.9)},
+  };
+  scenarios[1].spec.cs_work = work;
+  scenarios[2].spec.cs_work = work;
+
+  for (const auto& scenario : scenarios) {
+    std::printf("\n%s (%s):\n", scenario.name, scenario.spec.label().c_str());
+    util::TextTable table({"threads", "HCF(2,3,5)", "HCF-TLE-like",
+                           "HCF-combine-first", "HCF-adaptive", "lean"});
+    for (std::size_t threads : opts.threads) {
+      std::vector<std::string> row{std::to_string(threads)};
+      const std::uint64_t range = scenario.spec.key_range;
+      {
+        auto tree = make_tree(range);
+        core::HcfEngine<Tree> e(*tree, adapters::avl_paper_config(), 1);
+        row.push_back(util::TextTable::num(
+            run_one(e, scenario.spec, threads, opts.driver)
+                .throughput_mops()));
+        mem::EbrDomain::instance().drain();
+      }
+      {
+        auto tree = make_tree(range);
+        core::HcfEngine<Tree> e(
+            *tree, {core::ClassConfig{0, core::PhasePolicy{8, 1, 1, true}}},
+            1);
+        row.push_back(util::TextTable::num(
+            run_one(e, scenario.spec, threads, opts.driver)
+                .throughput_mops()));
+        mem::EbrDomain::instance().drain();
+      }
+      {
+        auto tree = make_tree(range);
+        core::HcfEngine<Tree> e(
+            *tree,
+            {core::ClassConfig{0, core::PhasePolicy::combine_first()}}, 1);
+        row.push_back(util::TextTable::num(
+            run_one(e, scenario.spec, threads, opts.driver)
+                .throughput_mops()));
+        mem::EbrDomain::instance().drain();
+      }
+      {
+        auto tree = make_tree(range);
+        core::AdaptiveHcfEngine<Tree> e(*tree, adapters::avl_paper_config(),
+                                        1);
+        row.push_back(util::TextTable::num(
+            run_one(e, scenario.spec, threads, opts.driver)
+                .throughput_mops()));
+        const char* lean = "balanced";
+        if (e.current_lean(0) ==
+            core::AdaptiveHcfEngine<Tree>::Lean::Speculative) {
+          lean = "speculative";
+        } else if (e.current_lean(0) ==
+                   core::AdaptiveHcfEngine<Tree>::Lean::Combining) {
+          lean = "combining";
+        }
+        row.push_back(lean);
+        mem::EbrDomain::instance().drain();
+      }
+      table.add_row(std::move(row));
+    }
+    table.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Ablation of the HCF design choices the paper calls out (§2.4, §3.4):
+//
+//   HCF            — paper configuration (same-subtree selection, sorted
+//                    combine + eliminate run_multi)
+//   HCF-nocomb     — selection kept, but ops applied one-by-one (no
+//                    combining/elimination), the §3.4 ablation
+//   HCF-help-all   — one array, should_help always true (no subtree
+//                    filtering)
+//   HCF-1C         — specialized single-combiner variant (selection lock
+//                    held for the whole combining phase)
+//
+// Workload: the Fig. 5(a) setting (AVL, 0% Find, Zipf 0.9) where combining
+// matters most.
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "core/engine.hpp"
+#include "harness/issuers.hpp"
+#include "mem/ebr.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace hcf;
+using Tree = ds::AvlTree<std::uint64_t>;
+using K = std::uint64_t;
+
+constexpr std::uint64_t kKeyRange = 1024;
+
+// Variant ops: help-all (ignore the subtree hint).
+template <typename Base>
+class HelpAllOp final : public Base {
+ public:
+  using Base::Base;
+  bool should_help(const core::Operation<Tree>&) const override {
+    return true;
+  }
+};
+
+std::unique_ptr<Tree> make_prefilled_tree() {
+  auto tree = std::make_unique<Tree>();
+  for (std::uint64_t k = 0; k < kKeyRange; k += 2) tree->insert(k);
+  return tree;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto opts = hcf::bench::BenchOptions::parse(argc, argv);
+  bench::print_header("Ablation: HCF variants",
+                      "AVL set, 0% Find, Zipf 0.9 (Mops/s)");
+
+  auto spec = harness::WorkloadSpec::reads(0, kKeyRange,
+                                           harness::KeyDist::Zipfian, 0.9);
+  spec.cs_work = opts.cs_work >= 0 ? static_cast<std::uint32_t>(opts.cs_work)
+                                   : opts.amplified_work;
+  std::printf("(cs_work=%u; variant effects need contention)\n",
+              spec.cs_work);
+  util::TextTable table({"threads", "HCF", "HCF-nocomb", "HCF-help-all",
+                         "HCF-1C"});
+  for (std::size_t threads : opts.threads) {
+    std::vector<std::string> row{std::to_string(threads)};
+
+    {  // paper configuration
+      auto tree = make_prefilled_tree();
+      core::HcfEngine<Tree> e(*tree, adapters::avl_paper_config(), 1);
+      const auto r = harness::run_timed(
+          e, threads,
+          [&](std::size_t t) {
+            return harness::AvlWorker<core::HcfEngine<Tree>>(e, spec,
+                                                             11 + t);
+          },
+          opts.driver);
+      row.push_back(util::TextTable::num(r.throughput_mops()));
+      mem::EbrDomain::instance().drain();
+    }
+    {  // no combining/elimination
+      auto tree = make_prefilled_tree();
+      core::HcfEngine<Tree> e(*tree, adapters::avl_paper_config(), 1);
+      using NC = adapters::AvlNoCombine<K>;
+      const auto r = harness::run_timed(
+          e, threads,
+          [&](std::size_t t) {
+            return harness::AvlWorker<core::HcfEngine<Tree>,
+                                      typename NC::Contains,
+                                      typename NC::Insert,
+                                      typename NC::Remove>(e, spec, 23 + t);
+          },
+          opts.driver);
+      row.push_back(util::TextTable::num(r.throughput_mops()));
+      mem::EbrDomain::instance().drain();
+    }
+    {  // help-all (no subtree filtering)
+      auto tree = make_prefilled_tree();
+      core::HcfEngine<Tree> e(*tree, adapters::avl_paper_config(), 1);
+      const auto r = harness::run_timed(
+          e, threads,
+          [&](std::size_t t) {
+            return harness::AvlWorker<core::HcfEngine<Tree>,
+                                      HelpAllOp<adapters::AvlContainsOp<K>>,
+                                      HelpAllOp<adapters::AvlInsertOp<K>>,
+                                      HelpAllOp<adapters::AvlRemoveOp<K>>>(
+                e, spec, 37 + t);
+          },
+          opts.driver);
+      row.push_back(util::TextTable::num(r.throughput_mops()));
+      mem::EbrDomain::instance().drain();
+    }
+    {  // single-combiner specialization
+      auto tree = make_prefilled_tree();
+      core::HcfSingleCombinerEngine<Tree> e(*tree,
+                                            adapters::avl_paper_config(), 1);
+      const auto r = harness::run_timed(
+          e, threads,
+          [&](std::size_t t) {
+            return harness::AvlWorker<core::HcfSingleCombinerEngine<Tree>>(
+                e, spec, 41 + t);
+          },
+          opts.driver);
+      row.push_back(util::TextTable::num(r.throughput_mops()));
+      mem::EbrDomain::instance().drain();
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  return 0;
+}

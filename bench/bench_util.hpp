@@ -1,0 +1,96 @@
+// Shared option parsing and reporting for the figure benchmarks.
+//
+// Every figure binary accepts:
+//   --duration-ms=N     measurement window per configuration (default 300)
+//   --warmup-ms=N       warmup before each measurement (default 50)
+//   --threads=1,2,4,..  thread counts to sweep (default 1,2,4,8,16)
+//   --quick             short run (100ms windows, threads 1,2,4)
+//   --extended          adds the paper's beyond-one-socket thread counts
+//   --workload=NAME     restrict to one workload where applicable
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/driver.hpp"
+#include "util/table.hpp"
+
+namespace hcf::bench {
+
+struct BenchOptions {
+  harness::DriverOptions driver;
+  std::vector<std::size_t> threads{1, 2, 4, 8, 16};
+  bool extended = false;
+  std::string workload_filter;
+  // -1: run both cs_work=0 (paper parameters) and the amplified setting.
+  long cs_work = -1;
+  std::uint32_t amplified_work = 1000;
+
+  static BenchOptions parse(int argc, char** argv) {
+    BenchOptions opts;
+    opts.driver.warmup = std::chrono::milliseconds(50);
+    opts.driver.duration = std::chrono::milliseconds(300);
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--duration-ms=", 0) == 0) {
+        opts.driver.duration =
+            std::chrono::milliseconds(std::stol(arg.substr(14)));
+      } else if (arg.rfind("--warmup-ms=", 0) == 0) {
+        opts.driver.warmup =
+            std::chrono::milliseconds(std::stol(arg.substr(12)));
+      } else if (arg.rfind("--threads=", 0) == 0) {
+        opts.threads.clear();
+        std::string list = arg.substr(10);
+        std::size_t pos = 0;
+        while (pos < list.size()) {
+          std::size_t comma = list.find(',', pos);
+          if (comma == std::string::npos) comma = list.size();
+          opts.threads.push_back(std::stoul(list.substr(pos, comma - pos)));
+          pos = comma + 1;
+        }
+      } else if (arg == "--quick") {
+        opts.driver.duration = std::chrono::milliseconds(100);
+        opts.driver.warmup = std::chrono::milliseconds(20);
+        opts.threads = {1, 2, 4};
+      } else if (arg.rfind("--cs-work=", 0) == 0) {
+        opts.cs_work = std::stol(arg.substr(10));
+      } else if (arg == "--extended") {
+        opts.extended = true;
+      } else if (arg.rfind("--workload=", 0) == 0) {
+        opts.workload_filter = arg.substr(11);
+      } else if (arg == "--help" || arg == "-h") {
+        std::printf(
+            "options: --duration-ms=N --warmup-ms=N --threads=a,b,c "
+            "--quick --extended --workload=NAME --cs-work=N\n");
+        std::exit(0);
+      }
+    }
+    if (opts.extended) {
+      opts.threads.push_back(36);
+      opts.threads.push_back(72);
+    }
+    return opts;
+  }
+
+  // The cs_work settings a figure bench should sweep: either the single
+  // value requested on the command line, or {paper-verbatim, amplified}.
+  std::vector<std::uint32_t> work_settings() const {
+    if (cs_work >= 0) return {static_cast<std::uint32_t>(cs_work)};
+    return {0, amplified_work};
+  }
+};
+
+inline void print_header(const char* figure, const char* description) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", figure, description);
+  std::printf("(software-simulated HTM; see DESIGN.md for the substitution\n");
+  std::printf(" notes and EXPERIMENTS.md for paper-vs-measured analysis)\n");
+  std::printf("==============================================================\n");
+}
+
+}  // namespace hcf::bench

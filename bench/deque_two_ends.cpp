@@ -1,0 +1,101 @@
+// §2.4's two-ends deque example: separate publication arrays (and thus
+// separate combiners) per end. Compares all engines plus the specialized
+// single-combiner HCF variant, which §2.4 recommends for exactly this
+// configuration. Threads are pinned to one end each ("split" mode) or pick
+// ends at random ("mixed" mode).
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "core/engine.hpp"
+#include "harness/issuers.hpp"
+#include "mem/ebr.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace hcf;
+using Dq = ds::Deque<std::uint64_t>;
+
+constexpr int kPushPct = 60;
+
+std::unique_ptr<Dq> make_prefilled() {
+  auto dq = std::make_unique<Dq>();
+  for (std::uint64_t v = 0; v < 4096; ++v) dq->push_right(v);
+  return dq;
+}
+
+template <typename Engine>
+harness::RunResult run_one(Engine& engine, bool split, std::size_t threads,
+                           const harness::DriverOptions& options) {
+  return harness::run_timed(
+      engine, threads,
+      [&](std::size_t t) {
+        const int pin_side = split ? static_cast<int>(t % 2) : -1;
+        return harness::DequeWorker<Engine>(engine, kPushPct, 7 + t * 3,
+                                            pin_side);
+      },
+      options);
+}
+
+harness::RunResult run_named(const std::string& name, bool split,
+                             std::size_t threads,
+                             const harness::DriverOptions& options) {
+  auto dq = make_prefilled();
+  harness::RunResult result;
+  if (name == "Lock") {
+    core::LockEngine<Dq> e(*dq);
+    result = run_one(e, split, threads, options);
+  } else if (name == "TLE") {
+    core::TleEngine<Dq> e(*dq);
+    result = run_one(e, split, threads, options);
+  } else if (name == "FC") {
+    core::FcEngine<Dq> e(*dq);
+    result = run_one(e, split, threads, options);
+  } else if (name == "SCM") {
+    core::ScmEngine<Dq> e(*dq);
+    result = run_one(e, split, threads, options);
+  } else if (name == "TLE+FC") {
+    core::TleFcEngine<Dq> e(*dq);
+    result = run_one(e, split, threads, options);
+  } else if (name == "HCF") {
+    core::HcfEngine<Dq> e(*dq, adapters::deque_paper_config(),
+                          adapters::kDequeNumArrays);
+    result = run_one(e, split, threads, options);
+  } else {  // HCF-1C
+    core::HcfSingleCombinerEngine<Dq> e(*dq, adapters::deque_paper_config(),
+                                        adapters::kDequeNumArrays);
+    result = run_one(e, split, threads, options);
+  }
+  mem::EbrDomain::instance().drain();
+  return result;
+}
+
+const char* kEngines[] = {"Lock", "TLE", "FC", "SCM", "TLE+FC", "HCF",
+                          "HCF-1C"};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto opts = hcf::bench::BenchOptions::parse(argc, argv);
+  bench::print_header("Deque (paper §2.4)",
+                      "two-ends deque, per-end publication arrays (Mops/s)");
+
+  for (bool split : {true, false}) {
+    std::printf("\n%s mode (60%% push / 40%% pop):\n",
+                split ? "split (threads pinned per end)" : "mixed");
+    std::vector<std::string> header{"threads"};
+    for (const char* e : kEngines) header.push_back(e);
+    util::TextTable table(header);
+    for (std::size_t threads : opts.threads) {
+      std::vector<std::string> row{std::to_string(threads)};
+      for (const char* engine : kEngines) {
+        const auto result = run_named(engine, split, threads, opts.driver);
+        row.push_back(util::TextTable::num(result.throughput_mops()));
+      }
+      table.add_row(std::move(row));
+    }
+    table.print(std::cout);
+  }
+  return 0;
+}

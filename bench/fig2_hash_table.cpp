@@ -1,0 +1,120 @@
+// Figure 2 reproduction: hash-table throughput vs. thread count for
+// workloads with 100% / 80% / 40% Find (remainder split evenly between
+// Insert and Remove). Key range and bucket count 16K, prefilled to half,
+// matching §3.3. Engines: Lock, TLE, FC, SCM, TLE+FC, HCF.
+//
+// Fig 2(b) in the paper shows the 80% workload on both sockets (72
+// threads); pass --extended to include the oversubscribed thread counts.
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "core/engine.hpp"
+#include "harness/issuers.hpp"
+#include "mem/ebr.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace hcf;
+using Table = ds::HashTable<std::uint64_t, std::uint64_t>;
+
+constexpr std::uint64_t kKeyRange = 16 * 1024;
+
+std::unique_ptr<Table> make_prefilled_table(const harness::WorkloadSpec& spec) {
+  auto table = std::make_unique<Table>(spec.key_range);
+  // Deterministic prefill of every other key up to half the range.
+  for (std::uint64_t k = 0; k < spec.prefill; ++k) {
+    table->insert(k * 2 % spec.key_range, (k * 2 % spec.key_range) * 2 + 1);
+  }
+  return table;
+}
+
+template <typename Engine>
+harness::RunResult run_one(Engine& engine, const harness::WorkloadSpec& spec,
+                           std::size_t threads,
+                           const harness::DriverOptions& options) {
+  return harness::run_timed(
+      engine, threads,
+      [&](std::size_t t) {
+        return harness::HtWorker<Engine>(engine, spec, 17 + t * 7919);
+      },
+      options);
+}
+
+harness::RunResult run_named(const std::string& name,
+                             const harness::WorkloadSpec& spec,
+                             std::size_t threads,
+                             const harness::DriverOptions& options) {
+  auto table = make_prefilled_table(spec);
+  harness::RunResult result;
+  if (name == "Lock") {
+    core::LockEngine<Table> e(*table);
+    result = run_one(e, spec, threads, options);
+  } else if (name == "TLE") {
+    core::TleEngine<Table> e(*table);
+    result = run_one(e, spec, threads, options);
+  } else if (name == "FC") {
+    core::FcEngine<Table> e(*table);
+    result = run_one(e, spec, threads, options);
+  } else if (name == "SCM") {
+    core::ScmEngine<Table> e(*table);
+    result = run_one(e, spec, threads, options);
+  } else if (name == "TLE+FC") {
+    core::TleFcEngine<Table> e(*table);
+    result = run_one(e, spec, threads, options);
+  } else {  // HCF
+    core::HcfEngine<Table> e(*table, adapters::ht_paper_config(),
+                             adapters::kHtNumArrays);
+    result = run_one(e, spec, threads, options);
+  }
+  mem::EbrDomain::instance().drain();
+  return result;
+}
+
+const char* kEngines[] = {"Lock", "TLE", "FC", "SCM", "TLE+FC", "HCF"};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto opts = hcf::bench::BenchOptions::parse(argc, argv);
+  hcf::bench::print_header(
+      "Figure 2", "hash table throughput (Mops/s), 16K keys/buckets");
+
+  struct Panel {
+    const char* id;
+    const char* tag;
+    int find_pct;
+  };
+  const Panel panels[] = {
+      {"2(a)", "100f", 100}, {"2(b)", "80f", 80}, {"2(c)", "40f", 40}};
+
+  for (const auto& panel : panels) {
+    if (!opts.workload_filter.empty() && opts.workload_filter != panel.tag) {
+      continue;
+    }
+    for (const std::uint32_t work : opts.work_settings()) {
+    auto spec = hcf::harness::WorkloadSpec::reads(panel.find_pct, kKeyRange);
+    spec.cs_work = work;
+    std::printf("\nFig %s: workload %s (key range %llu, prefill %llu)%s\n",
+                panel.id, spec.label().c_str(),
+                static_cast<unsigned long long>(spec.key_range),
+                static_cast<unsigned long long>(spec.prefill),
+                work == 0 ? " [paper parameters]"
+                          : " [contention-amplified]");
+    std::vector<std::string> header{"threads"};
+    for (const char* e : kEngines) header.push_back(e);
+    hcf::util::TextTable table(header);
+    for (std::size_t threads : opts.threads) {
+      std::vector<std::string> row{std::to_string(threads)};
+      for (const char* engine : kEngines) {
+        const auto result = run_named(engine, spec, threads, opts.driver);
+        row.push_back(hcf::util::TextTable::num(result.throughput_mops()));
+      }
+      table.add_row(std::move(row));
+    }
+    table.print(std::cout);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Figure 3 reproduction: percentage of operations completed in each of the
+// four HCF phases for the 40%-Find hash-table workload — for all
+// operations, Insert operations alone, and Find+Remove operations alone.
+// One measurement per (work, threads) configuration feeds all three views.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/engine.hpp"
+#include "harness/issuers.hpp"
+#include "mem/ebr.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace hcf;
+using Table = ds::HashTable<std::uint64_t, std::uint64_t>;
+using Engine = core::HcfEngine<Table>;
+
+constexpr std::uint64_t kKeyRange = 16 * 1024;
+
+std::string pct(std::uint64_t part, std::uint64_t whole) {
+  return whole == 0 ? "0.00"
+                    : util::TextTable::num(100.0 * static_cast<double>(part) /
+                                           static_cast<double>(whole));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto opts = hcf::bench::BenchOptions::parse(argc, argv);
+  bench::print_header("Figure 3",
+                      "HCF phase completion breakdown, hash table, 40% Find");
+
+  for (const std::uint32_t work : opts.work_settings()) {
+    auto spec = harness::WorkloadSpec::reads(40, kKeyRange);
+    spec.cs_work = work;
+    std::printf("\n=== %s (workload %s) ===\n",
+                work == 0 ? "paper parameters" : "contention-amplified",
+                spec.label().c_str());
+
+    std::vector<harness::RunResult> results;
+    for (std::size_t threads : opts.threads) {
+      auto ds = std::make_unique<Table>(spec.key_range);
+      for (std::uint64_t k = 0; k < spec.prefill; ++k) {
+        ds->insert(k * 2 % spec.key_range, (k * 2 % spec.key_range) * 2 + 1);
+      }
+      Engine engine(*ds, adapters::ht_paper_config(), adapters::kHtNumArrays);
+      results.push_back(harness::run_timed(
+          engine, threads,
+          [&](std::size_t t) {
+            return harness::HtWorker<Engine>(engine, spec, 31 + t * 101);
+          },
+          opts.driver));
+      mem::EbrDomain::instance().drain();
+    }
+
+    struct View {
+      const char* name;
+      int cls;  // -1: aggregate over all classes
+    };
+    const View views[] = {{"all ops", -1},
+                          {"Insert only", adapters::kHtInsertClass},
+                          {"Find+Remove only", adapters::kHtReadWriteClass}};
+    for (const auto& view : views) {
+      std::printf("\n%s:\n", view.name);
+      util::TextTable table({"threads", "TryPrivate%", "TryVisible%",
+                             "TryCombining%", "CombineUnderLock%", "ops"});
+      for (std::size_t i = 0; i < opts.threads.size(); ++i) {
+        const auto& result = results[i];
+        std::uint64_t per_phase[core::kNumPhases] = {};
+        std::uint64_t total = 0;
+        for (int p = 0; p < core::kNumPhases; ++p) {
+          per_phase[p] =
+              view.cls < 0
+                  ? result.engine.phase_total(static_cast<core::Phase>(p))
+                  : result.engine.completions[static_cast<std::size_t>(
+                        view.cls)][static_cast<std::size_t>(p)];
+          total += per_phase[p];
+        }
+        table.add_row({std::to_string(opts.threads[i]),
+                       pct(per_phase[0], total), pct(per_phase[1], total),
+                       pct(per_phase[2], total), pct(per_phase[3], total),
+                       std::to_string(total)});
+      }
+      table.print(std::cout);
+    }
+  }
+  return 0;
+}

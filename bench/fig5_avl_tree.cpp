@@ -1,0 +1,114 @@
+// Figure 5 reproduction: AVL-tree set under a skewed workload. Keys in
+// [0..1023], prefilled to half, Zipfian key selection with theta = 0.9;
+// panels with 0% / 40% / 80% Find. Engines: Lock, TLE, FC, SCM, TLE+FC,
+// HCF (FC/TLE+FC/HCF share the same sorted combine+eliminate run_multi,
+// as in §3.4).
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "core/engine.hpp"
+#include "harness/issuers.hpp"
+#include "mem/ebr.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace hcf;
+using Tree = ds::AvlTree<std::uint64_t>;
+
+constexpr std::uint64_t kKeyRange = 1024;
+constexpr double kTheta = 0.9;
+
+std::unique_ptr<Tree> make_prefilled_tree() {
+  auto tree = std::make_unique<Tree>();
+  for (std::uint64_t k = 0; k < kKeyRange; k += 2) tree->insert(k);
+  return tree;
+}
+
+template <typename Engine>
+harness::RunResult run_one(Engine& engine, const harness::WorkloadSpec& spec,
+                           std::size_t threads,
+                           const harness::DriverOptions& options) {
+  return harness::run_timed(
+      engine, threads,
+      [&](std::size_t t) {
+        return harness::AvlWorker<Engine>(engine, spec, 71 + t * 31);
+      },
+      options);
+}
+
+harness::RunResult run_named(const std::string& name,
+                             const harness::WorkloadSpec& spec,
+                             std::size_t threads,
+                             const harness::DriverOptions& options) {
+  auto tree = make_prefilled_tree();
+  harness::RunResult result;
+  if (name == "Lock") {
+    core::LockEngine<Tree> e(*tree);
+    result = run_one(e, spec, threads, options);
+  } else if (name == "TLE") {
+    core::TleEngine<Tree> e(*tree);
+    result = run_one(e, spec, threads, options);
+  } else if (name == "FC") {
+    core::FcEngine<Tree> e(*tree);
+    result = run_one(e, spec, threads, options);
+  } else if (name == "SCM") {
+    core::ScmEngine<Tree> e(*tree);
+    result = run_one(e, spec, threads, options);
+  } else if (name == "TLE+FC") {
+    core::TleFcEngine<Tree> e(*tree);
+    result = run_one(e, spec, threads, options);
+  } else {
+    core::HcfEngine<Tree> e(*tree, adapters::avl_paper_config(), 1);
+    result = run_one(e, spec, threads, options);
+  }
+  mem::EbrDomain::instance().drain();
+  return result;
+}
+
+const char* kEngines[] = {"Lock", "TLE", "FC", "SCM", "TLE+FC", "HCF"};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto opts = hcf::bench::BenchOptions::parse(argc, argv);
+  bench::print_header(
+      "Figure 5",
+      "AVL set throughput (Mops/s), keys [0..1023], Zipf theta=0.9");
+
+  struct Panel {
+    const char* id;
+    const char* tag;
+    int find_pct;
+  };
+  const Panel panels[] = {{"5(a)", "0f", 0}, {"5(b)", "40f", 40},
+                          {"5(c)", "80f", 80}};
+
+  for (const auto& panel : panels) {
+    if (!opts.workload_filter.empty() && opts.workload_filter != panel.tag) {
+      continue;
+    }
+    for (const std::uint32_t work : opts.work_settings()) {
+    auto spec = harness::WorkloadSpec::reads(
+        panel.find_pct, kKeyRange, harness::KeyDist::Zipfian, kTheta);
+    spec.cs_work = work;
+    std::printf("\nFig %s: workload %s%s\n", panel.id, spec.label().c_str(),
+                work == 0 ? " [paper parameters]"
+                          : " [contention-amplified]");
+    std::vector<std::string> header{"threads"};
+    for (const char* e : kEngines) header.push_back(e);
+    util::TextTable table(header);
+    for (std::size_t threads : opts.threads) {
+      std::vector<std::string> row{std::to_string(threads)};
+      for (const char* engine : kEngines) {
+        const auto result = run_named(engine, spec, threads, opts.driver);
+        row.push_back(util::TextTable::num(result.throughput_mops()));
+      }
+      table.add_row(std::move(row));
+    }
+    table.print(std::cout);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,134 @@
+// Sorted-list set benchmark: the structure with the strongest asymptotic
+// combining win (k combined ops = one O(n + k) traversal instead of k
+// O(n) traversals). Long traversals also make capacity aborts and
+// validation costs visible, complementing the short-operation structures.
+#include <cstdio>
+#include <functional>
+#include <memory>
+
+#include "adapters/list_ops.hpp"
+#include "bench_util.hpp"
+#include "harness/workload.hpp"
+#include "core/engine.hpp"
+#include "mem/ebr.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace hcf;
+using List = ds::SortedList<std::uint64_t>;
+
+constexpr std::uint64_t kKeyRange = 512;  // list is O(n): keep it modest
+
+class ListWorker {
+ public:
+  template <typename Engine>
+  ListWorker(Engine& engine, const harness::WorkloadSpec& spec,
+             std::uint64_t seed)
+      : spec_(spec), keys_(spec, seed) {
+    contains_.set_work(spec.cs_work);
+    insert_.set_work(spec.cs_work);
+    remove_.set_work(spec.cs_work);
+    execute_ = [&engine](core::Operation<List>& op) { engine.execute(op); };
+  }
+
+  void operator()() {
+    const std::uint64_t key = keys_.next_key();
+    const int p = keys_.next_percent();
+    if (p < spec_.find_pct) {
+      contains_.set(key);
+      execute_(contains_);
+    } else if (p < spec_.find_pct + spec_.insert_pct) {
+      insert_.set(key);
+      execute_(insert_);
+    } else {
+      remove_.set(key);
+      execute_(remove_);
+    }
+  }
+
+ private:
+  harness::WorkloadSpec spec_;
+  harness::KeyGenerator keys_;
+  adapters::ListContainsOp<std::uint64_t> contains_;
+  adapters::ListInsertOp<std::uint64_t> insert_;
+  adapters::ListRemoveOp<std::uint64_t> remove_;
+  std::function<void(core::Operation<List>&)> execute_;
+};
+
+std::unique_ptr<List> make_prefilled() {
+  auto list = std::make_unique<List>();
+  for (std::uint64_t k = 0; k < kKeyRange; k += 2) list->insert(k);
+  return list;
+}
+
+template <typename Engine>
+harness::RunResult run_one(Engine& engine, const harness::WorkloadSpec& spec,
+                           std::size_t threads,
+                           const harness::DriverOptions& options) {
+  return harness::run_timed(
+      engine, threads,
+      [&](std::size_t t) { return ListWorker(engine, spec, 5 + t * 7); },
+      options);
+}
+
+harness::RunResult run_named(const std::string& name,
+                             const harness::WorkloadSpec& spec,
+                             std::size_t threads,
+                             const harness::DriverOptions& options) {
+  auto list = make_prefilled();
+  harness::RunResult result;
+  if (name == "Lock") {
+    core::LockEngine<List> e(*list);
+    result = run_one(e, spec, threads, options);
+  } else if (name == "TLE") {
+    core::TleEngine<List> e(*list);
+    result = run_one(e, spec, threads, options);
+  } else if (name == "FC") {
+    core::FcEngine<List> e(*list);
+    result = run_one(e, spec, threads, options);
+  } else if (name == "SCM") {
+    core::ScmEngine<List> e(*list);
+    result = run_one(e, spec, threads, options);
+  } else if (name == "TLE+FC") {
+    core::TleFcEngine<List> e(*list);
+    result = run_one(e, spec, threads, options);
+  } else {
+    core::HcfEngine<List> e(*list, adapters::list_paper_config(), 1);
+    result = run_one(e, spec, threads, options);
+  }
+  mem::EbrDomain::instance().drain();
+  return result;
+}
+
+const char* kEngines[] = {"Lock", "TLE", "FC", "SCM", "TLE+FC", "HCF"};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto opts = hcf::bench::BenchOptions::parse(argc, argv);
+  bench::print_header("Sorted list", "single-traversal batch combining");
+
+  for (const std::uint32_t work : opts.work_settings()) {
+    for (int find_pct : {90, 20}) {
+      auto spec = harness::WorkloadSpec::reads(find_pct, kKeyRange);
+      spec.cs_work = work;
+      std::printf("\nworkload %s%s:\n", spec.label().c_str(),
+                  work == 0 ? " [paper parameters]"
+                            : " [contention-amplified]");
+      std::vector<std::string> header{"threads"};
+      for (const char* e : kEngines) header.push_back(e);
+      util::TextTable table(header);
+      for (std::size_t threads : opts.threads) {
+        std::vector<std::string> row{std::to_string(threads)};
+        for (const char* engine : kEngines) {
+          const auto result = run_named(engine, spec, threads, opts.driver);
+          row.push_back(util::TextTable::num(result.throughput_mops()));
+        }
+        table.add_row(std::move(row));
+      }
+      table.print(std::cout);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,145 @@
+// Substrate microbenchmarks (google-benchmark): raw costs of the simulated
+// HTM primitives, locks, publication array, and workload generators. These
+// quantify the simulator's constant factors — useful context when reading
+// the figure benchmarks' absolute numbers.
+#include <benchmark/benchmark.h>
+
+#include "core/publication_array.hpp"
+#include "mem/ebr.hpp"
+#include "sim_htm/htm.hpp"
+#include "sim_htm/txcell.hpp"
+#include "sync/spinlock.hpp"
+#include "sync/tx_lock.hpp"
+#include "util/rng.hpp"
+#include "util/zipf.hpp"
+
+namespace {
+
+using namespace hcf;
+
+void BM_TxnEmptyCommit(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(htm::attempt([] {}));
+  }
+}
+BENCHMARK(BM_TxnEmptyCommit);
+
+void BM_TxnReadOnly(benchmark::State& state) {
+  static std::uint64_t data[64] = {};
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    htm::attempt([&] {
+      std::uint64_t sum = 0;
+      for (std::size_t i = 0; i < n; ++i) sum += htm::read(&data[i]);
+      benchmark::DoNotOptimize(sum);
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_TxnReadOnly)->Arg(1)->Arg(8)->Arg(32);
+
+void BM_TxnWrite(benchmark::State& state) {
+  static std::uint64_t data[64] = {};
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    htm::attempt([&] {
+      for (std::size_t i = 0; i < n; ++i) htm::write(&data[i], i);
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_TxnWrite)->Arg(1)->Arg(8)->Arg(32);
+
+void BM_UninstrumentedRead(benchmark::State& state) {
+  static std::uint64_t data[64] = {};
+  for (auto _ : state) {
+    std::uint64_t sum = 0;
+    for (auto& d : data) sum += htm::read(&d);  // no txn: plain path
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_UninstrumentedRead);
+
+void BM_TxCellStrongStore(benchmark::State& state) {
+  static htm::TxCell<std::uint64_t> cell{0};
+  std::uint64_t v = 0;
+  for (auto _ : state) cell.store(++v);
+}
+BENCHMARK(BM_TxCellStrongStore);
+
+void BM_TxLockUncontended(benchmark::State& state) {
+  static sync::TxLock lock;
+  for (auto _ : state) {
+    lock.lock();
+    lock.unlock();
+  }
+}
+BENCHMARK(BM_TxLockUncontended);
+
+void BM_FairTxLockUncontended(benchmark::State& state) {
+  static sync::FairTxLock lock;
+  for (auto _ : state) {
+    lock.lock();
+    lock.unlock();
+  }
+}
+BENCHMARK(BM_FairTxLockUncontended);
+
+void BM_SpinLockUncontended(benchmark::State& state) {
+  static sync::SpinLock lock;
+  for (auto _ : state) {
+    lock.lock();
+    lock.unlock();
+  }
+}
+BENCHMARK(BM_SpinLockUncontended);
+
+void BM_EbrGuard(benchmark::State& state) {
+  for (auto _ : state) {
+    mem::Guard guard;
+    benchmark::DoNotOptimize(&guard);
+  }
+}
+BENCHMARK(BM_EbrGuard);
+
+struct NullDs {};
+struct NullOp : core::Operation<NullDs> {
+  void run_seq(NullDs&) override {}
+};
+
+void BM_PubArrayAddRemove(benchmark::State& state) {
+  static core::PublicationArray<NullDs> pa;
+  NullOp op;
+  for (auto _ : state) {
+    pa.add(&op);
+    pa.remove_strong();
+  }
+}
+BENCHMARK(BM_PubArrayAddRemove);
+
+void BM_ZipfDraw(benchmark::State& state) {
+  util::Xoshiro256 rng(1);
+  util::ZipfianGenerator zipf(16 * 1024, 0.9);
+  for (auto _ : state) benchmark::DoNotOptimize(zipf.next(rng));
+}
+BENCHMARK(BM_ZipfDraw);
+
+void BM_UniformDraw(benchmark::State& state) {
+  util::Xoshiro256 rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.next_bounded(16 * 1024));
+}
+BENCHMARK(BM_UniformDraw);
+
+void BM_TxnConflictAbortCost(benchmark::State& state) {
+  // Cost of a doomed transaction: subscribe to a held lock, abort.
+  static sync::TxLock lock;
+  lock.lock();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(htm::attempt([&] { lock.subscribe(); }));
+  }
+  lock.unlock();
+}
+BENCHMARK(BM_TxnConflictAbortCost);
+
+}  // namespace

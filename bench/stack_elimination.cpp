@@ -1,0 +1,141 @@
+// Stack benchmark (paper §3.1: "one should not expect HCF always to be the
+// winner when the contention is high, e.g., when experimenting with a
+// stack"). Every operation conflicts at the top, so combining-based
+// engines (FC, HCF-with-combine-first) should match or beat TLE here, and
+// Push/Pop *elimination* (pairs cancel without touching the stack) is the
+// dominant effect on mixed workloads.
+//
+// Reports throughput and the elimination rate per engine.
+#include <cstdio>
+#include <memory>
+
+#include "adapters/stack_ops.hpp"
+#include "bench_util.hpp"
+#include "core/engine.hpp"
+#include "mem/ebr.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace hcf;
+using St = ds::Stack<std::uint64_t>;
+using Base = adapters::StackOpBase<std::uint64_t>;
+
+class StackWorker {
+ public:
+  template <typename Engine>
+  StackWorker(Engine& engine, int push_pct, std::uint64_t seed,
+              std::uint32_t cs_work)
+      : push_pct_(push_pct), rng_(seed) {
+    push_.set_work(cs_work);
+    pop_.set_work(cs_work);
+    execute_ = [&engine](core::Operation<St>& op) { engine.execute(op); };
+  }
+
+  void operator()() {
+    if (static_cast<int>(rng_.next_bounded(100)) < push_pct_) {
+      push_.set(rng_.next());
+      execute_(push_);
+    } else {
+      execute_(pop_);
+    }
+  }
+
+ private:
+  int push_pct_;
+  util::Xoshiro256 rng_;
+  adapters::StackPushOp<std::uint64_t> push_;
+  adapters::StackPopOp<std::uint64_t> pop_;
+  std::function<void(core::Operation<St>&)> execute_;
+};
+
+template <typename Engine>
+std::pair<harness::RunResult, std::uint64_t> run_one(
+    Engine& engine, int push_pct, std::size_t threads,
+    const harness::DriverOptions& options, std::uint32_t cs_work) {
+  Base::reset_eliminations();
+  auto result = harness::run_timed(
+      engine, threads,
+      [&](std::size_t t) {
+        return StackWorker(engine, push_pct, 3 + t * 11, cs_work);
+      },
+      options);
+  return {result, Base::eliminations()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto opts = hcf::bench::BenchOptions::parse(argc, argv);
+  bench::print_header("Stack (paper §3.1)",
+                      "always-conflicting stack; throughput + elimination");
+
+  for (const std::uint32_t work : opts.work_settings()) {
+    std::printf("\n=== %s (50%% push / 50%% pop) ===\n",
+                work == 0 ? "paper parameters" : "contention-amplified");
+    util::TextTable table({"threads", "Lock", "TLE", "FC", "FC-elim/kop",
+                           "HCF", "HCF-elim/kop", "HCF-1C"});
+    for (std::size_t threads : opts.threads) {
+      std::vector<std::string> row{std::to_string(threads)};
+      {
+        St st;
+        for (int i = 0; i < 4096; ++i) st.push(i);
+        core::LockEngine<St> e(st);
+        row.push_back(util::TextTable::num(
+            run_one(e, 50, threads, opts.driver, work).first
+                .throughput_mops()));
+        mem::EbrDomain::instance().drain();
+      }
+      {
+        St st;
+        for (int i = 0; i < 4096; ++i) st.push(i);
+        core::TleEngine<St> e(st);
+        row.push_back(util::TextTable::num(
+            run_one(e, 50, threads, opts.driver, work).first
+                .throughput_mops()));
+        mem::EbrDomain::instance().drain();
+      }
+      {
+        St st;
+        for (int i = 0; i < 4096; ++i) st.push(i);
+        core::FcEngine<St> e(st);
+        const auto [result, elims] =
+            run_one(e, 50, threads, opts.driver, work);
+        row.push_back(util::TextTable::num(result.throughput_mops()));
+        row.push_back(util::TextTable::num(
+            result.total_ops == 0
+                ? 0.0
+                : 1000.0 * static_cast<double>(elims) /
+                      static_cast<double>(result.total_ops)));
+        mem::EbrDomain::instance().drain();
+      }
+      {
+        St st;
+        for (int i = 0; i < 4096; ++i) st.push(i);
+        core::HcfEngine<St> e(st, adapters::stack_paper_config(), 1);
+        const auto [result, elims] =
+            run_one(e, 50, threads, opts.driver, work);
+        row.push_back(util::TextTable::num(result.throughput_mops()));
+        row.push_back(util::TextTable::num(
+            result.total_ops == 0
+                ? 0.0
+                : 1000.0 * static_cast<double>(elims) /
+                      static_cast<double>(result.total_ops)));
+        mem::EbrDomain::instance().drain();
+      }
+      {
+        St st;
+        for (int i = 0; i < 4096; ++i) st.push(i);
+        core::HcfSingleCombinerEngine<St> e(st,
+                                            adapters::stack_paper_config(), 1);
+        row.push_back(util::TextTable::num(
+            run_one(e, 50, threads, opts.driver, work).first
+                .throughput_mops()));
+        mem::EbrDomain::instance().drain();
+      }
+      table.add_row(std::move(row));
+    }
+    table.print(std::cout);
+  }
+  return 0;
+}

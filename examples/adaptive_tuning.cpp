@@ -1,0 +1,113 @@
+// Adaptive HCF in action (the paper's §2.4 future work): one engine, two
+// workload phases. Phase 1 is read-heavy and uniform — speculation wins and
+// the controller leans TLE-like. Phase 2 is update-heavy and highly skewed —
+// conflicts dominate and the controller leans toward announcing early and
+// combining. No reconfiguration code appears in the workload: the engine
+// observes its own phase histogram and retunes itself.
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "adapters/avl_ops.hpp"
+#include "core/engine.hpp"
+#include "ds/avl_tree.hpp"
+#include "mem/ebr.hpp"
+#include "util/rng.hpp"
+#include "util/zipf.hpp"
+
+namespace {
+
+using namespace hcf;
+using Tree = ds::AvlTree<std::uint64_t>;
+using Engine = core::AdaptiveHcfEngine<Tree>;
+
+const char* lean_name(Engine::Lean lean) {
+  switch (lean) {
+    case Engine::Lean::Balanced: return "balanced (2,3,5)";
+    case Engine::Lean::Speculative: return "speculative (6,2,2)";
+    case Engine::Lean::Combining: return "combining (1,1,8)";
+  }
+  return "?";
+}
+
+void run_phase(Engine& engine, const char* name, bool contended,
+               std::chrono::milliseconds duration) {
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  std::atomic<std::uint64_t> ops{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      util::Xoshiro256 rng(50 + t);
+      util::ZipfianGenerator zipf(512, 0.95);
+      adapters::AvlContainsOp<std::uint64_t> contains;
+      adapters::AvlInsertOp<std::uint64_t> insert;
+      adapters::AvlRemoveOp<std::uint64_t> remove;
+      for (auto* op : {static_cast<adapters::AvlOpBase<std::uint64_t>*>(
+                           &contains),
+                       static_cast<adapters::AvlOpBase<std::uint64_t>*>(
+                           &insert),
+                       static_cast<adapters::AvlOpBase<std::uint64_t>*>(
+                           &remove)}) {
+        op->bind_tree(&engine.data());
+        op->set_work(contended ? 2000 : 0);
+      }
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (!contended) {
+          // 95% lookups over a wide uniform range.
+          const auto key = rng.next_bounded(64 * 1024);
+          if (rng.next_bounded(100) < 95) {
+            contains.set(key);
+            engine.execute(contains);
+          } else {
+            insert.set(key);
+            engine.execute(insert);
+          }
+        } else {
+          // 100% updates over a handful of hot keys with long operations.
+          const auto key = zipf.next(rng) % 6;
+          if (rng.next_bounded(2) == 0) {
+            insert.set(key);
+            engine.execute(insert);
+          } else {
+            remove.set(key);
+            engine.execute(remove);
+          }
+        }
+        ops.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  std::this_thread::sleep_for(duration);
+  stop = true;
+  for (auto& th : threads) th.join();
+  std::printf("%-38s %9llu ops, controller lean: %s (adaptations: %llu)\n",
+              name, static_cast<unsigned long long>(ops.load()),
+              lean_name(engine.current_lean(0)),
+              static_cast<unsigned long long>(engine.adaptations()));
+}
+
+}  // namespace
+
+int main() {
+  Tree tree;
+  for (std::uint64_t k = 0; k < 64 * 1024; k += 2) tree.insert(k);
+
+  core::AdaptiveOptions options;
+  options.window = 2048;
+  options.failure_floor = 0.75;  // this workload's conflicts are bursty
+  Engine engine(tree, adapters::avl_paper_config(), 1, options);
+
+  std::printf("initial lean: %s\n", lean_name(engine.current_lean(0)));
+  run_phase(engine, "phase 1: read-heavy uniform", false,
+            std::chrono::milliseconds(600));
+  run_phase(engine, "phase 2: update-heavy zipf + long ops", true,
+            std::chrono::milliseconds(600));
+  run_phase(engine, "phase 3: read-heavy uniform again", false,
+            std::chrono::milliseconds(600));
+
+  const bool ok = tree.check_invariants();
+  std::printf("tree invariants: %s\n", ok ? "OK" : "BROKEN");
+  hcf::mem::EbrDomain::instance().drain();
+  return ok ? 0 : 1;
+}

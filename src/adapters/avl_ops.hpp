@@ -1,0 +1,186 @@
+// Operation descriptors for the AVL-tree set (paper §3.4).
+//
+// One operation class and one publication array. The paper's HCF variant:
+//
+//   * should_help selects only pending operations whose key falls in the
+//     same (left or right) subtree of the root as the combiner's own
+//     operation, using the tree's look-aside root key — so a combiner on
+//     one subtree runs concurrently with operations on the other;
+//   * run_multi sorts the selected operations by key, then combines and
+//     eliminates per set semantics: one lookup per distinct key, each op's
+//     result computed against the evolving local state, and at most one
+//     physical mutation per key reconciles the tree.
+//
+// AvlNoCombineMixin provides the ablation variant (§3.4: "does not use
+// combining and elimination... applies all announced operations one after
+// another").
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <span>
+#include <vector>
+
+#include "core/hcf_engine.hpp"
+#include "util/backoff.hpp"
+#include "core/operation.hpp"
+#include "ds/avl_tree.hpp"
+
+namespace hcf::adapters {
+
+inline constexpr std::size_t kAvlMaxBatch = 16;
+
+template <htm::detail::TxValue K>
+class AvlOpBase : public core::Operation<ds::AvlTree<K>> {
+ public:
+  using Tree = ds::AvlTree<K>;
+  using Op = core::Operation<Tree>;
+
+  enum class Kind : std::uint8_t { Contains, Insert, Remove };
+
+  explicit AvlOpBase(Kind kind) : Op(/*class_id=*/0), kind_(kind) {}
+
+  Kind kind() const noexcept { return kind_; }
+  K key() const noexcept { return key_; }
+  void set(K key) noexcept { key_ = key; }
+  bool result() const noexcept { return bool_result_; }
+
+  // Synthetic per-operation critical-section work (spin iterations), used
+  // by benchmarks to widen transaction conflict windows on small machines
+  // (see EXPERIMENTS.md, "contention amplification"). Combined execution
+  // pays the work once per key group — elimination saves the work, which
+  // is the paper's premise.
+  void set_work(std::uint32_t spins) noexcept { work_ = spins; }
+
+  void run_seq(Tree& ds) override {
+    switch (kind_) {
+      case Kind::Contains: bool_result_ = ds.contains(key_); break;
+      case Kind::Insert: bool_result_ = ds.insert(key_); break;
+      case Kind::Remove: bool_result_ = ds.remove(key_); break;
+    }
+    util::spin_for(work_);
+  }
+
+  // Same-subtree selection using the look-aside root key. The hint is read
+  // non-transactionally and may be stale — a mis-selection only affects
+  // which ops get batched, never correctness.
+  bool should_help(const Op& candidate) const override {
+    const auto& cand = static_cast<const AvlOpBase&>(candidate);
+    if (tree_ == nullptr) return true;
+    K root_key{};
+    if (!tree_->root_key_hint(&root_key)) return true;  // tiny tree: combine all
+    return (key_ < root_key) == (cand.key_ < root_key);
+  }
+
+  // Sorted, combining + eliminating batch application.
+  std::size_t run_multi(Tree& ds, std::span<Op*> ops) override {
+    const std::size_t k = std::min(ops.size(), kAvlMaxBatch);
+    std::sort(ops.begin(), ops.begin() + static_cast<std::ptrdiff_t>(k),
+              [](Op* a, Op* b) {
+                auto* oa = static_cast<AvlOpBase*>(a);
+                auto* ob = static_cast<AvlOpBase*>(b);
+                if (oa->key_ != ob->key_) return oa->key_ < ob->key_;
+                return static_cast<int>(oa->kind_) < static_cast<int>(ob->kind_);
+              });
+    std::size_t i = 0;
+    while (i < k) {
+      std::size_t j = i;
+      const K key = static_cast<AvlOpBase*>(ops[i])->key_;
+      while (j < k && static_cast<AvlOpBase*>(ops[j])->key_ == key) ++j;
+      apply_key_group(ds, key,
+                      std::span<Op*>(ops.data() + i, j - i));
+      util::spin_for(work_);  // one op's worth of work per combined group
+      i = j;
+    }
+    return k;
+  }
+
+  // Engines do not know about trees; the workload driver points each op at
+  // its tree so should_help can consult the root hint.
+  void bind_tree(const Tree* tree) noexcept { tree_ = tree; }
+
+ private:
+  // One lookup, then a local state machine over the group, then at most one
+  // physical mutation: Insert/Remove pairs eliminate each other, duplicate
+  // Inserts (or Removes) collapse to the first.
+  static void apply_key_group(Tree& ds, K key, std::span<Op*> group) {
+    const bool initially_present = ds.contains(key);
+    bool present = initially_present;
+    for (Op* op : group) {
+      auto* o = static_cast<AvlOpBase*>(op);
+      switch (o->kind_) {
+        case Kind::Contains:
+          o->bool_result_ = present;
+          break;
+        case Kind::Insert:
+          o->bool_result_ = !present;
+          present = true;
+          break;
+        case Kind::Remove:
+          o->bool_result_ = present;
+          present = false;
+          break;
+      }
+    }
+    if (present != initially_present) {
+      if (present) {
+        ds.insert(key);
+      } else {
+        ds.remove(key);
+      }
+    }
+  }
+
+  Kind kind_;
+  K key_{};
+  bool bool_result_ = false;
+  std::uint32_t work_ = 0;
+  const Tree* tree_ = nullptr;
+};
+
+template <htm::detail::TxValue K>
+class AvlContainsOp : public AvlOpBase<K> {
+ public:
+  AvlContainsOp() : AvlOpBase<K>(AvlOpBase<K>::Kind::Contains) {}
+};
+
+template <htm::detail::TxValue K>
+class AvlInsertOp : public AvlOpBase<K> {
+ public:
+  AvlInsertOp() : AvlOpBase<K>(AvlOpBase<K>::Kind::Insert) {}
+};
+
+template <htm::detail::TxValue K>
+class AvlRemoveOp : public AvlOpBase<K> {
+ public:
+  AvlRemoveOp() : AvlOpBase<K>(AvlOpBase<K>::Kind::Remove) {}
+};
+
+// Ablation mixin: keep selection but apply ops one-by-one, unsorted and
+// without elimination (§3.4's "alternative variant").
+template <htm::detail::TxValue K>
+class AvlNoCombine {
+ public:
+  template <typename BaseOp>
+  class Wrap final : public BaseOp {
+   public:
+    using Tree = typename BaseOp::Tree;
+    using Op = core::Operation<Tree>;
+    using BaseOp::BaseOp;
+    std::size_t run_multi(Tree& ds, std::span<Op*> ops) override {
+      const std::size_t k = std::min(ops.size(), kAvlMaxBatch);
+      for (std::size_t i = 0; i < k; ++i) ops[i]->run_seq(ds);
+      return k;
+    }
+  };
+  using Contains = Wrap<AvlContainsOp<K>>;
+  using Insert = Wrap<AvlInsertOp<K>>;
+  using Remove = Wrap<AvlRemoveOp<K>>;
+};
+
+// The paper's AVL configuration: one class, one array, all four phases.
+inline std::vector<core::ClassConfig> avl_paper_config() {
+  return {core::ClassConfig{0, core::PhasePolicy::paper_default()}};
+}
+
+}  // namespace hcf::adapters

@@ -1,0 +1,166 @@
+// Operation descriptors for the skip-list priority queue (the paper's §1
+// motivating example).
+//
+// Configuration follows the paper's discussion exactly:
+//
+//   * Insert (class 0, array 0) — inserts on random keys rarely conflict;
+//     they run with HTM attempts in all of the first three phases.
+//   * RemoveMin (class 1, array 1) — all RemoveMins conflict at the head;
+//     they skip TryPrivate/TryVisible HTM attempts entirely ("skip HTM
+//     attempts in the first two phases ... and go directly to the combining
+//     phases, after announcing the operation in TryVisible") and combine
+//     through SkipListPq::remove_min_n.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/hcf_engine.hpp"
+#include "util/backoff.hpp"
+#include "core/operation.hpp"
+#include "ds/skiplist_pq.hpp"
+
+namespace hcf::adapters {
+
+inline constexpr int kPqInsertClass = 0;
+inline constexpr int kPqRemoveMinClass = 1;
+inline constexpr std::size_t kPqMaxBatch = 16;
+
+template <htm::detail::TxValue K>
+class PqOpBase : public core::Operation<ds::SkipListPq<K>> {
+ public:
+  using Pq = ds::SkipListPq<K>;
+  using Op = core::Operation<Pq>;
+
+  enum class Kind : std::uint8_t { Insert, RemoveMin };
+
+  PqOpBase(Kind kind, int class_id) : Op(class_id), kind_(kind) {}
+
+  Kind kind() const noexcept { return kind_; }
+
+  // Synthetic critical-section work; a combined RemoveMin batch pays it
+  // once (one traversal removes the whole batch), Inserts pay per op.
+  void set_work(std::uint32_t spins) noexcept { work_ = spins; }
+
+  // Batches RemoveMins through remove_min_n, and *eliminates* pending
+  // Inserts against RemoveMins when the insert's key is no larger than the
+  // queue's current minimum: the RemoveMin is served the insert's key
+  // directly and neither operation touches the skip list (the linearization
+  // puts each consumed Insert immediately before the RemoveMin it serves,
+  // and the surviving Inserts after the batch's RemoveMins).
+  std::size_t run_multi(Pq& ds, std::span<Op*> ops) override {
+    auto* begin = ops.data();
+    auto* end = begin + ops.size();
+    auto* mid = std::partition(begin, end, [](Op* o) {
+      return static_cast<PqOpBase*>(o)->kind() == Kind::RemoveMin;
+    });
+    const std::size_t num_removes = static_cast<std::size_t>(mid - begin);
+    const std::size_t k = std::min(ops.size(), kPqMaxBatch);
+    const std::size_t remove_count = std::min(num_removes, k);
+    const std::size_t insert_count = k - remove_count;
+
+    K insert_keys[kPqMaxBatch];
+    for (std::size_t i = 0; i < insert_count; ++i) {
+      insert_keys[i] =
+          static_cast<PqOpBase*>(ops[remove_count + i])->key_;
+    }
+    std::sort(insert_keys, insert_keys + insert_count);
+
+    std::size_t next_insert = 0;
+    if (remove_count > 0) {
+      const auto queue_min = ds.peek_min();
+      const bool eliminable =
+          insert_count > 0 &&
+          (!queue_min.has_value() || insert_keys[0] <= *queue_min);
+      if (!eliminable) {
+        // Fast path: one traversal removes the whole batch.
+        K keys[kPqMaxBatch];
+        const std::size_t got =
+            ds.remove_min_n(std::span<K>(keys, remove_count));
+        for (std::size_t i = 0; i < remove_count; ++i) {
+          auto* op = static_cast<PqOpBase*>(ops[i]);
+          op->result_ = i < got ? std::optional<K>(keys[i]) : std::nullopt;
+        }
+      } else {
+        // Merge the sorted pending inserts with the queue's ascending
+        // minimums; each RemoveMin takes whichever is smaller.
+        for (std::size_t i = 0; i < remove_count; ++i) {
+          auto* op = static_cast<PqOpBase*>(ops[i]);
+          const auto qmin = ds.peek_min();
+          if (next_insert < insert_count &&
+              (!qmin.has_value() || insert_keys[next_insert] <= *qmin)) {
+            op->result_ = insert_keys[next_insert++];
+            eliminations_.fetch_add(1, std::memory_order_relaxed);
+          } else if (qmin.has_value()) {
+            op->result_ = ds.remove_min();
+          } else {
+            op->result_ = std::nullopt;
+          }
+        }
+      }
+      util::spin_for(work_);
+    }
+    // Surviving inserts take effect after the batch's RemoveMins.
+    for (std::size_t j = next_insert; j < insert_count; ++j) {
+      ds.insert(insert_keys[j]);
+    }
+    if (insert_count > next_insert) util::spin_for(work_);
+    return k;
+  }
+
+  static std::uint64_t eliminations() noexcept {
+    return eliminations_.load(std::memory_order_relaxed);
+  }
+  static void reset_eliminations() noexcept { eliminations_ = 0; }
+
+ protected:
+  Kind kind_;
+  K key_{};
+  std::uint32_t work_ = 0;
+  std::optional<K> result_;
+  static inline std::atomic<std::uint64_t> eliminations_{0};
+};
+
+template <htm::detail::TxValue K>
+class PqInsertOp final : public PqOpBase<K> {
+ public:
+  using Base = PqOpBase<K>;
+  PqInsertOp() : Base(Base::Kind::Insert, kPqInsertClass) {}
+
+  void set(K key) noexcept { this->key_ = key; }
+
+  void run_seq(typename Base::Pq& ds) override {
+    ds.insert(this->key_);
+    util::spin_for(this->work_);
+  }
+};
+
+template <htm::detail::TxValue K>
+class PqRemoveMinOp final : public PqOpBase<K> {
+ public:
+  using Base = PqOpBase<K>;
+  PqRemoveMinOp() : Base(Base::Kind::RemoveMin, kPqRemoveMinClass) {}
+
+  void run_seq(typename Base::Pq& ds) override {
+    this->result_ = ds.remove_min();
+    util::spin_for(this->work_);
+  }
+
+  const std::optional<K>& result() const noexcept { return this->result_; }
+};
+
+// The paper's priority-queue configuration.
+inline std::vector<core::ClassConfig> pq_paper_config() {
+  return {
+      core::ClassConfig{0, core::PhasePolicy::paper_default()},
+      core::ClassConfig{1, core::PhasePolicy::combine_first()},
+  };
+}
+
+inline constexpr std::size_t kPqNumArrays = 2;
+
+}  // namespace hcf::adapters

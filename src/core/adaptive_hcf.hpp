@@ -1,0 +1,153 @@
+// Adaptive HCF — the paper's "future work" (§2.4): "the customization may
+// be dynamic — we can begin with a certain number of publication arrays and
+// the way operations are assigned to them, and change that on-the-fly to
+// better fit the given workload. ... calling for an adaptive runtime
+// mechanism to tune the HCF performance."
+//
+// This engine wraps HcfEngine with a feedback controller. Every adaptation
+// window (kWindow operations), one thread inspects the per-class phase
+// histogram and retunes that class's trial budgets:
+//
+//   * mostly TryPrivate completions  -> speculate more  (TLE-leaning)
+//   * mostly combining / under lock  -> announce early  (FC-leaning)
+//   * mixed                          -> the paper's (2,3,5) default
+//
+// Correctness is configuration-independent (§2.1: "the configuration of
+// HCF ... cannot affect the correctness, but only the performance"), so the
+// controller may update a policy while other threads execute — readers of a
+// half-updated policy just run with a hybrid budget for one operation.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "core/hcf_engine.hpp"
+
+namespace hcf::core {
+
+struct AdaptiveOptions {
+  std::uint64_t window = 8192;  // ops between adaptations
+  // Lean thresholds. frac_private = fraction of the window's completions
+  // in TryPrivate; failures_per_op = failed HTM attempts per completion.
+  double speculate_threshold = 0.90;   // frac_private above -> Speculative
+  double combine_threshold = 0.50;     // frac_private below -> Combining
+  double failure_ceiling = 0.25;       // failures/op above blocks Speculative
+  double failure_floor = 1.50;         // failures/op above -> Combining
+  PhasePolicy speculative{6, 2, 2, true};
+  PhasePolicy balanced = PhasePolicy::paper_default();
+  PhasePolicy combining{1, 1, 8, true};
+};
+
+template <typename DS, sync::ElidableLock Lock = sync::TxLock,
+          sync::ElidableLock SelectionLock = sync::TxLock>
+class AdaptiveHcfEngine {
+ public:
+  using Op = Operation<DS>;
+  using Inner = HcfEngine<DS, Lock, SelectionLock>;
+
+  AdaptiveHcfEngine(DS& ds, std::vector<ClassConfig> classes,
+                    std::size_t num_arrays = 1, AdaptiveOptions options = {})
+      : inner_(ds, std::move(classes), num_arrays), options_(options) {
+    for (auto& s : last_window_) {
+      s = {};
+    }
+  }
+
+  explicit AdaptiveHcfEngine(DS& ds,
+                             PhasePolicy initial = PhasePolicy::paper_default())
+      : AdaptiveHcfEngine(ds, {ClassConfig{0, initial}}, 1) {}
+
+  static std::string_view name() noexcept { return "HCF-adaptive"; }
+
+  Phase execute(Op& op) {
+    const Phase phase = inner_.execute(op);
+    if ((ops_since_adapt_.fetch_add(1, std::memory_order_relaxed) + 1) %
+            options_.window ==
+        0) {
+      adapt();
+    }
+    return phase;
+  }
+
+  EngineStats& stats() noexcept { return inner_.stats(); }
+  std::uint64_t lock_acquisitions() const noexcept {
+    return inner_.lock_acquisitions();
+  }
+  void reset_stats() noexcept { inner_.reset_stats(); }
+  DS& data() noexcept { return inner_.data(); }
+  Inner& inner() noexcept { return inner_; }
+
+  // Introspection for tests/benches: the lean currently applied per class.
+  enum class Lean : std::uint8_t { Balanced = 0, Speculative = 1, Combining = 2 };
+  Lean current_lean(std::size_t cls) const noexcept {
+    return static_cast<Lean>(lean_[cls].load(std::memory_order_relaxed));
+  }
+  std::uint64_t adaptations() const noexcept {
+    return adaptations_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void adapt() {
+    // Single adapter at a time; skip if someone else is adapting.
+    bool expected = false;
+    if (!adapting_.compare_exchange_strong(expected, true,
+                                           std::memory_order_acq_rel)) {
+      return;
+    }
+    const auto snap = EngineStatsSnapshot::capture(inner_.stats());
+    for (std::size_t cls = 0; cls < inner_.num_classes(); ++cls) {
+      std::uint64_t window_total = 0;
+      std::uint64_t window_private = 0;
+      for (int p = 0; p < kNumPhases; ++p) {
+        const std::uint64_t delta =
+            snap.completions[cls][static_cast<std::size_t>(p)] -
+            last_window_[cls].completions[cls][static_cast<std::size_t>(p)];
+        window_total += delta;
+        if (p == static_cast<int>(Phase::Private)) window_private = delta;
+      }
+      if (window_total < options_.window / 8) continue;  // too few samples
+      const double frac =
+          static_cast<double>(window_private) /
+          static_cast<double>(window_total);
+      const double failures_per_op =
+          static_cast<double>(snap.attempt_failures[cls] -
+                              last_window_[cls].attempt_failures[cls]) /
+          static_cast<double>(window_total);
+      Lean lean = Lean::Balanced;
+      PhasePolicy policy = options_.balanced;
+      if (failures_per_op >= options_.failure_floor ||
+          frac <= options_.combine_threshold) {
+        // Retry storms or frequent fallbacks: announce early and combine.
+        lean = Lean::Combining;
+        policy = options_.combining;
+      } else if (frac >= options_.speculate_threshold &&
+                 failures_per_op <= options_.failure_ceiling) {
+        lean = Lean::Speculative;
+        policy = options_.speculative;
+      }
+      // Preserve the class's announce choice: a never-announcing class
+      // must stay that way (its descriptors may not support helping).
+      policy.announce = inner_.class_config(cls).policy.announce;
+      if (lean != current_lean(cls)) {
+        inner_.set_class_policy(cls, policy);
+        lean_[cls].store(static_cast<std::uint8_t>(lean),
+                         std::memory_order_relaxed);
+        adaptations_.fetch_add(1, std::memory_order_relaxed);
+      }
+      last_window_[cls] = snap;
+    }
+    adapting_.store(false, std::memory_order_release);
+  }
+
+  Inner inner_;
+  AdaptiveOptions options_;
+  std::atomic<std::uint64_t> ops_since_adapt_{0};
+  std::atomic<bool> adapting_{false};
+  std::atomic<std::uint64_t> adaptations_{0};
+  std::atomic<std::uint8_t> lean_[kMaxOpClasses]{};
+  EngineStatsSnapshot last_window_[kMaxOpClasses];
+};
+
+}  // namespace hcf::core

@@ -1,0 +1,156 @@
+// Per-engine statistics: which phase completed each operation (paper
+// Fig. 3), split by operation class, plus combining metrics (Fig. 4).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "core/types.hpp"
+#include "util/counters.hpp"
+
+namespace hcf::core {
+
+inline constexpr int kMaxOpClasses = 4;
+
+struct EngineStats {
+  // completions[cls][phase]
+  std::array<std::array<util::Counter, kNumPhases>, kMaxOpClasses> completions;
+  // Failed HTM attempts per class (any phase) — the contention signal the
+  // adaptive controller consumes; completions alone hide retry storms.
+  std::array<util::Counter, kMaxOpClasses> attempt_failures;
+  util::Counter combiner_sessions;   // times a thread became a combiner
+  util::Counter ops_selected;        // total ops chosen by combiners
+  util::Counter combine_rounds;      // run_multi invocations by combiners
+  util::Counter helped_ops;          // ops completed by a thread != owner
+
+  void record_completion(int cls, Phase phase) noexcept {
+    completions[static_cast<std::size_t>(cls % kMaxOpClasses)]
+               [static_cast<std::size_t>(phase)]
+                   .add();
+  }
+
+  void record_attempt_failure(int cls) noexcept {
+    attempt_failures[static_cast<std::size_t>(cls % kMaxOpClasses)].add();
+  }
+
+  std::uint64_t phase_total(Phase phase) const noexcept {
+    std::uint64_t sum = 0;
+    for (const auto& cls : completions) {
+      sum += cls[static_cast<std::size_t>(phase)].total();
+    }
+    return sum;
+  }
+
+  std::uint64_t class_total(int cls) const noexcept {
+    std::uint64_t sum = 0;
+    for (const auto& c : completions[static_cast<std::size_t>(cls)]) {
+      sum += c.total();
+    }
+    return sum;
+  }
+
+  std::uint64_t total() const noexcept {
+    std::uint64_t sum = 0;
+    for (int p = 0; p < kNumPhases; ++p) {
+      sum += phase_total(static_cast<Phase>(p));
+    }
+    return sum;
+  }
+
+  // Average operations applied per combiner session (the paper's
+  // "combining degree").
+  double combining_degree() const noexcept {
+    const auto sessions = combiner_sessions.total();
+    return sessions == 0
+               ? 0.0
+               : static_cast<double>(ops_selected.total()) /
+                     static_cast<double>(sessions);
+  }
+
+  void reset() noexcept {
+    for (auto& cls : completions) {
+      for (auto& c : cls) c.reset();
+    }
+    for (auto& c : attempt_failures) c.reset();
+    combiner_sessions.reset();
+    ops_selected.reset();
+    combine_rounds.reset();
+    helped_ops.reset();
+  }
+};
+
+// Plain-value snapshot for measurement intervals.
+struct EngineStatsSnapshot {
+  std::array<std::array<std::uint64_t, kNumPhases>, kMaxOpClasses>
+      completions{};
+  std::array<std::uint64_t, kMaxOpClasses> attempt_failures{};
+  std::uint64_t combiner_sessions = 0;
+  std::uint64_t ops_selected = 0;
+  std::uint64_t combine_rounds = 0;
+  std::uint64_t helped_ops = 0;
+
+  static EngineStatsSnapshot capture(const EngineStats& s) noexcept {
+    EngineStatsSnapshot snap;
+    for (int c = 0; c < kMaxOpClasses; ++c) {
+      for (int p = 0; p < kNumPhases; ++p) {
+        snap.completions[c][p] = s.completions[c][p].total();
+      }
+    }
+    for (int c = 0; c < kMaxOpClasses; ++c) {
+      snap.attempt_failures[c] = s.attempt_failures[c].total();
+    }
+    snap.combiner_sessions = s.combiner_sessions.total();
+    snap.ops_selected = s.ops_selected.total();
+    snap.combine_rounds = s.combine_rounds.total();
+    snap.helped_ops = s.helped_ops.total();
+    return snap;
+  }
+
+  EngineStatsSnapshot delta_since(const EngineStatsSnapshot& base) const {
+    EngineStatsSnapshot d;
+    for (int c = 0; c < kMaxOpClasses; ++c) {
+      for (int p = 0; p < kNumPhases; ++p) {
+        d.completions[c][p] = completions[c][p] - base.completions[c][p];
+      }
+    }
+    for (int c = 0; c < kMaxOpClasses; ++c) {
+      d.attempt_failures[c] = attempt_failures[c] - base.attempt_failures[c];
+    }
+    d.combiner_sessions = combiner_sessions - base.combiner_sessions;
+    d.ops_selected = ops_selected - base.ops_selected;
+    d.combine_rounds = combine_rounds - base.combine_rounds;
+    d.helped_ops = helped_ops - base.helped_ops;
+    return d;
+  }
+
+  std::uint64_t phase_total(Phase phase) const noexcept {
+    std::uint64_t sum = 0;
+    for (const auto& cls : completions) {
+      sum += cls[static_cast<std::size_t>(phase)];
+    }
+    return sum;
+  }
+
+  std::uint64_t class_total(int cls) const noexcept {
+    std::uint64_t sum = 0;
+    for (auto v : completions[static_cast<std::size_t>(cls)]) sum += v;
+    return sum;
+  }
+
+  std::uint64_t total() const noexcept {
+    std::uint64_t sum = 0;
+    for (int p = 0; p < kNumPhases; ++p) {
+      sum += phase_total(static_cast<Phase>(p));
+    }
+    return sum;
+  }
+
+  double combining_degree() const noexcept {
+    return combiner_sessions == 0
+               ? 0.0
+               : static_cast<double>(ops_selected) /
+                     static_cast<double>(combiner_sessions);
+  }
+};
+
+}  // namespace hcf::core

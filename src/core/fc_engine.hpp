@@ -1,0 +1,125 @@
+// Flat combining (Hendler, Incze, Shavit & Tzafrir). Threads announce their
+// operations in the publication array and compete for the data-structure
+// lock with try_lock; the winner (the combiner) scans the array and applies
+// every announced operation — batched through run_multi so data-structure
+// combining/elimination applies — while the losers spin on their status.
+//
+// No HTM is used anywhere; all work happens under the single global lock.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "core/engine_stats.hpp"
+#include "core/operation.hpp"
+#include "core/publication_array.hpp"
+#include "mem/ebr.hpp"
+#include "sync/tx_lock.hpp"
+#include "util/backoff.hpp"
+#include "util/thread_id.hpp"
+
+namespace hcf::core {
+
+template <typename DS, sync::ElidableLock Lock = sync::TxLock>
+class FcEngine {
+ public:
+  using Op = Operation<DS>;
+
+  // `scan_rounds`: how many times the combiner rescans the publication
+  // array before releasing the lock (classic FC performs several passes to
+  // pick up late arrivals).
+  explicit FcEngine(DS& ds, int scan_rounds = 2) noexcept
+      : ds_(ds), scan_rounds_(scan_rounds) {}
+
+  static std::string_view name() noexcept { return "FC"; }
+
+  Phase execute(Op& op) {
+    mem::Guard ebr;
+    op.prepare();
+    op.mark_announced();
+    array_.add(&op);
+
+    util::SpinWait waiter;
+    for (;;) {
+      if (op.status() == OpStatus::Done) return op.completed_phase();
+      if (lock_.try_lock()) {
+        combine(op);
+        lock_.unlock();
+        // The combiner always executes its own announced operation.
+        assert(op.status() == OpStatus::Done);
+        return op.completed_phase();
+      }
+      waiter.wait();
+    }
+  }
+
+  EngineStats& stats() noexcept { return stats_; }
+  std::uint64_t lock_acquisitions() const noexcept {
+    return lock_.acquisition_count();
+  }
+  void reset_stats() noexcept {
+    stats_.reset();
+    lock_.reset_stats();
+  }
+
+  DS& data() noexcept { return ds_; }
+  Lock& lock() noexcept { return lock_; }
+
+ private:
+  void combine(Op& own) {
+    stats_.combiner_sessions.add();
+    const std::size_t self = util::this_thread_id();
+    std::vector<Op*>& batch = scratch();
+    for (int round = 0; round < scan_rounds_; ++round) {
+      batch.clear();
+      array_.for_each_announced([&](Op* op, std::size_t slot) {
+        if (op->status() == OpStatus::Announced) {
+          array_.clear_slot(slot);
+          batch.push_back(op);
+        }
+      });
+      if (batch.empty()) {
+        if (own.status() == OpStatus::Done) return;
+        continue;
+      }
+      stats_.ops_selected.add(batch.size());
+      std::span<Op*> pending(batch);
+      while (!pending.empty()) {
+        stats_.combine_rounds.add();
+        const std::size_t k = own.run_multi(ds_, pending);
+        assert(k >= 1 && k <= pending.size());
+        for (std::size_t i = 0; i < k; ++i) {
+          Op* done = pending[i];
+          const int cls = done->class_id();
+          done->mark_done(Phase::UnderLock);
+          stats_.record_completion(cls, Phase::UnderLock);
+          if (done != &own) stats_.helped_ops.add();
+          (void)self;
+        }
+        pending = pending.subspan(k);
+      }
+    }
+    // Late safety net: if our own op was announced after the last scan
+    // cleared it — impossible by construction (we announced before trying
+    // the lock) — run it directly.
+    if (own.status() != OpStatus::Done) {
+      array_.remove_strong();
+      own.run_seq(ds_);
+      own.mark_done(Phase::UnderLock);
+      stats_.record_completion(own.class_id(), Phase::UnderLock);
+    }
+  }
+
+  static std::vector<Op*>& scratch() {
+    thread_local std::vector<Op*> batch;
+    return batch;
+  }
+
+  DS& ds_;
+  int scan_rounds_;
+  Lock lock_;
+  PublicationArray<DS> array_;
+  EngineStats stats_;
+};
+
+}  // namespace hcf::core

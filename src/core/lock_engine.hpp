@@ -1,0 +1,52 @@
+// Baseline engine: every operation runs under the data-structure lock.
+#pragma once
+
+#include <string_view>
+
+#include "core/engine_stats.hpp"
+#include "core/operation.hpp"
+#include "mem/ebr.hpp"
+#include "sync/tx_lock.hpp"
+
+namespace hcf::core {
+
+template <typename DS, sync::ElidableLock Lock = sync::TxLock>
+class LockEngine {
+ public:
+  using Op = Operation<DS>;
+
+  explicit LockEngine(DS& ds) noexcept : ds_(ds) {}
+
+  static std::string_view name() noexcept { return "Lock"; }
+
+  Phase execute(Op& op) {
+    mem::Guard ebr;
+    op.prepare();
+    {
+      sync::LockGuard<Lock> guard(lock_);
+      op.run_seq(ds_);
+    }
+    op.mark_done(Phase::UnderLock);
+    stats_.record_completion(op.class_id(), Phase::UnderLock);
+    return Phase::UnderLock;
+  }
+
+  EngineStats& stats() noexcept { return stats_; }
+  std::uint64_t lock_acquisitions() const noexcept {
+    return lock_.acquisition_count();
+  }
+  void reset_stats() noexcept {
+    stats_.reset();
+    lock_.reset_stats();
+  }
+
+  DS& data() noexcept { return ds_; }
+  Lock& lock() noexcept { return lock_; }
+
+ private:
+  DS& ds_;
+  Lock lock_;
+  EngineStats stats_;
+};
+
+}  // namespace hcf::core

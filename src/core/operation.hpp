@@ -1,0 +1,126 @@
+// Operation descriptors (paper §2.2).
+//
+// An operation bundles the arguments and result slot of one data-structure
+// call together with the three sequential methods the framework invokes:
+//
+//   * run_seq     — applies the operation; the only method a user *must*
+//                   provide (typically a one-line wrapper over the
+//                   sequential data structure). Runs inside a hardware
+//                   transaction or under the data-structure lock.
+//   * should_help — combiner-side selection predicate: given the combiner's
+//                   own operation (*this), decide whether `candidate` should
+//                   be selected from the publication array. Defaults to
+//                   "help everyone" (the framework's select-all policy);
+//                   a "help nobody" subclass hook is `HelpNobody`.
+//   * run_multi   — applies a subset of the selected operations, combining
+//                   and/or eliminating them using data-structure semantics.
+//                   The default simply runs each selected op's run_seq.
+//
+// Framework state (status, completion phase) lives in the base class; the
+// synchronization protocol around it is owned by the engines, never by
+// user code.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+
+#include "core/types.hpp"
+#include "sim_htm/txcell.hpp"
+#include "util/backoff.hpp"
+
+namespace hcf::core {
+
+template <typename DS>
+class Operation {
+ public:
+  explicit Operation(int class_id = 0) noexcept : class_id_(class_id) {}
+  virtual ~Operation() = default;
+
+  Operation(const Operation&) = delete;
+  Operation& operator=(const Operation&) = delete;
+
+  // ---- user-provided sequential methods ----
+
+  virtual void run_seq(DS& ds) = 0;
+
+  virtual bool should_help(const Operation& candidate) const {
+    (void)candidate;
+    return true;
+  }
+
+  // Applies some non-empty subset of `ops`. Contract: the implementation
+  // may permute `ops`, must execute exactly a *prefix* of the (permuted)
+  // span, and returns that prefix's length (>= 1). Runs inside a hardware
+  // transaction or under the data-structure lock.
+  virtual std::size_t run_multi(DS& ds, std::span<Operation*> ops) {
+    for (auto* op : ops) op->run_seq(ds);
+    return ops.size();
+  }
+
+  // ---- framework state ----
+
+  int class_id() const noexcept { return class_id_; }
+
+  // Resets the descriptor for a fresh execution. Must only be called by the
+  // owner when no other thread can reference the descriptor.
+  void prepare() noexcept {
+    status_.init(static_cast<std::uint32_t>(OpStatus::UnAnnounced));
+    completed_phase_ = Phase::Private;
+  }
+
+  OpStatus status() const noexcept {
+    return static_cast<OpStatus>(status_.load());
+  }
+
+  // Transactional status read (owner-side check inside TryVisible).
+  OpStatus status_tx() const { return static_cast<OpStatus>(status_.read()); }
+
+  // Owner announces before publishing; sequenced before any transaction
+  // that subscribes to the status, so a plain store suffices.
+  void mark_announced() noexcept {
+    status_.store_plain(static_cast<std::uint32_t>(OpStatus::Announced));
+  }
+
+  // Combiner selection: dooms the owner's in-flight speculative attempt
+  // (strong store bumps the status word's orec).
+  void mark_being_helped() noexcept {
+    status_.store(static_cast<std::uint32_t>(OpStatus::BeingHelped));
+  }
+
+  // Completion: record where the op completed, then release the owner.
+  // Plain release store — by this point the owner cannot be speculating on
+  // the operation (it was doomed at mark_being_helped, or it is us).
+  void mark_done(Phase phase) noexcept {
+    completed_phase_ = phase;
+    status_.store_plain(static_cast<std::uint32_t>(OpStatus::Done));
+  }
+
+  // Owner-side wait for a combiner to finish the operation.
+  // The paper's pseudo-code yields here ("while (Op.status ==
+  // BeingHelped) yield()"); SpinWait spins briefly then yields.
+  void wait_done() const noexcept {
+    util::SpinWait waiter;
+    while (status() != OpStatus::Done) waiter.wait();
+  }
+
+  // Valid once status() == Done (or after the owner completed it itself).
+  Phase completed_phase() const noexcept { return completed_phase_; }
+
+ private:
+  int class_id_;
+  htm::TxCell<std::uint32_t> status_{
+      static_cast<std::uint32_t>(OpStatus::UnAnnounced)};
+  Phase completed_phase_ = Phase::Private;
+};
+
+// Mixin: a should_help that never helps (the framework's "apply only the
+// combiner's own operation" default variant).
+template <typename DS, typename Base = Operation<DS>>
+class HelpNobody : public Base {
+ public:
+  using Base::Base;
+  bool should_help(const Operation<DS>&) const override { return false; }
+};
+
+}  // namespace hcf::core

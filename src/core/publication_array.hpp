@@ -1,0 +1,83 @@
+// Publication array (paper §2.2, footnote 1): one slot per thread where
+// owners announce operation descriptors, plus the array's *selection lock*,
+// which serializes combiners' selection scans.
+//
+// Concurrency protocol (all verified against DESIGN.md's race analysis):
+//   * add    — owner publishes its descriptor in its own slot (strong store).
+//   * remove_tx — owner clears its slot *inside* the transaction that
+//     applied the op, so the removal commits atomically with the effect.
+//   * clear_slot — a combiner, holding the selection lock, removes a slot
+//     it has selected.
+//   * for_each_announced — combiner scan; requires the selection lock.
+//     Scans need no consistent snapshot: slots can be added concurrently
+//     but never removed while the selection lock is held.
+#pragma once
+
+#include <cstddef>
+
+#include "core/operation.hpp"
+#include "sim_htm/txcell.hpp"
+#include "sync/tx_lock.hpp"
+#include "util/cacheline.hpp"
+#include "util/thread_id.hpp"
+
+namespace hcf::core {
+
+template <typename DS, sync::ElidableLock SelectionLock = sync::TxLock>
+class PublicationArray {
+ public:
+  using Op = Operation<DS>;
+
+  PublicationArray() = default;
+  PublicationArray(const PublicationArray&) = delete;
+  PublicationArray& operator=(const PublicationArray&) = delete;
+
+  // Owner-side announce into the calling thread's slot.
+  void add(Op* op) noexcept { slot_for_current().store(op); }
+
+  // Owner-side transactional removal (buffered; commits with the op).
+  void remove_tx(Op* op) {
+    auto& cell = slot_for_current();
+    assert(cell.read() == op && "removing an operation we did not announce");
+    (void)op;
+    cell.tx_write(nullptr);
+  }
+
+  // Owner-side non-transactional removal (single-combiner variant, where
+  // the owner removes its slot after being helped).
+  void remove_strong() noexcept { slot_for_current().store(nullptr); }
+
+  // Combiner-side removal of any slot; caller must hold the selection lock.
+  void clear_slot(std::size_t slot) noexcept {
+    slots_[slot].value.store(nullptr);
+  }
+
+  // Combiner-side scan; caller must hold the selection lock. Calls
+  // f(op, slot_index) for every non-empty slot.
+  template <typename F>
+  void for_each_announced(F&& f) {
+    for (std::size_t i = 0; i < util::kMaxThreads; ++i) {
+      if (Op* op = slots_[i].value.load()) f(op, i);
+    }
+  }
+
+  // Non-owning peek (tests / stats).
+  Op* peek(std::size_t slot) const noexcept {
+    return slots_[slot].value.load();
+  }
+
+  SelectionLock& selection_lock() noexcept { return selection_lock_; }
+  const SelectionLock& selection_lock() const noexcept {
+    return selection_lock_;
+  }
+
+ private:
+  htm::TxCell<Op*>& slot_for_current() noexcept {
+    return slots_[util::this_thread_id()].value;
+  }
+
+  util::CacheAligned<htm::TxCell<Op*>> slots_[util::kMaxThreads];
+  SelectionLock selection_lock_;
+};
+
+}  // namespace hcf::core

@@ -1,0 +1,132 @@
+// TLE+FC: the paper's strawman combination (§3.3). A thread first tries its
+// operation on HTM exactly like TLE; if all attempts fail it *announces* the
+// operation and proceeds as in flat combining — competing for the
+// data-structure lock and, on winning, combining every announced operation
+// under that lock.
+//
+// The paper shows this performs almost identically to TLE: combining only
+// happens under the global lock, blocking all concurrent HTM activity, and
+// the combining degree stays tiny because most threads are still
+// speculating rather than announcing.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "core/engine_stats.hpp"
+#include "core/operation.hpp"
+#include "core/publication_array.hpp"
+#include "core/tle_engine.hpp"
+#include "mem/ebr.hpp"
+#include "sim_htm/htm.hpp"
+#include "sync/tx_lock.hpp"
+#include "util/backoff.hpp"
+
+namespace hcf::core {
+
+template <typename DS, sync::ElidableLock Lock = sync::TxLock>
+class TleFcEngine {
+ public:
+  using Op = Operation<DS>;
+
+  explicit TleFcEngine(DS& ds, int budget = kDefaultHtmBudget) noexcept
+      : ds_(ds), budget_(budget) {}
+
+  static std::string_view name() noexcept { return "TLE+FC"; }
+
+  Phase execute(Op& op) {
+    mem::Guard ebr;
+    op.prepare();
+
+    // --- TLE part ---
+    util::ExpBackoff backoff(0x7fc0 + util::this_thread_id());
+    for (int attempt = 0; attempt < budget_; ++attempt) {
+      lock_.wait_until_free();
+      const bool committed = htm::attempt([&] {
+        lock_.subscribe();
+        op.run_seq(ds_);
+      });
+      if (committed) {
+        op.mark_done(Phase::Private);
+        stats_.record_completion(op.class_id(), Phase::Private);
+        return Phase::Private;
+      }
+      if (htm::last_abort_code() == htm::AbortCode::Capacity) break;
+      if (htm::last_abort_code() == htm::AbortCode::Conflict) backoff.pause();
+    }
+
+    // --- FC part ---
+    op.mark_announced();
+    array_.add(&op);
+    util::SpinWait waiter;
+    for (;;) {
+      if (op.status() == OpStatus::Done) return op.completed_phase();
+      if (lock_.try_lock()) {
+        combine(op);
+        lock_.unlock();
+        assert(op.status() == OpStatus::Done);
+        return op.completed_phase();
+      }
+      waiter.wait();
+    }
+  }
+
+  EngineStats& stats() noexcept { return stats_; }
+  std::uint64_t lock_acquisitions() const noexcept {
+    return lock_.acquisition_count();
+  }
+  void reset_stats() noexcept {
+    stats_.reset();
+    lock_.reset_stats();
+  }
+
+  DS& data() noexcept { return ds_; }
+  Lock& lock() noexcept { return lock_; }
+
+ private:
+  void combine(Op& own) {
+    stats_.combiner_sessions.add();
+    std::vector<Op*>& batch = scratch();
+    batch.clear();
+    array_.for_each_announced([&](Op* op, std::size_t slot) {
+      if (op->status() == OpStatus::Announced) {
+        array_.clear_slot(slot);
+        batch.push_back(op);
+      }
+    });
+    stats_.ops_selected.add(batch.size());
+    std::span<Op*> pending(batch);
+    while (!pending.empty()) {
+      stats_.combine_rounds.add();
+      const std::size_t k = own.run_multi(ds_, pending);
+      assert(k >= 1 && k <= pending.size());
+      for (std::size_t i = 0; i < k; ++i) {
+        Op* done = pending[i];
+        const int cls = done->class_id();
+        done->mark_done(Phase::UnderLock);
+        stats_.record_completion(cls, Phase::UnderLock);
+        if (done != &own) stats_.helped_ops.add();
+      }
+      pending = pending.subspan(k);
+    }
+    if (own.status() != OpStatus::Done) {
+      array_.remove_strong();
+      own.run_seq(ds_);
+      own.mark_done(Phase::UnderLock);
+      stats_.record_completion(own.class_id(), Phase::UnderLock);
+    }
+  }
+
+  static std::vector<Op*>& scratch() {
+    thread_local std::vector<Op*> batch;
+    return batch;
+  }
+
+  DS& ds_;
+  int budget_;
+  Lock lock_;
+  PublicationArray<DS> array_;
+  EngineStats stats_;
+};
+
+}  // namespace hcf::core

@@ -1,0 +1,251 @@
+// Sequential AVL-tree set (paper §3.4).
+//
+// Beyond the textbook algorithm, two details matter for speculation and
+// combining:
+//
+//   * Writes are conditional: child pointers and heights are only stored
+//     when their value actually changes. A textbook implementation that
+//     re-assigns every pointer on the search path would make any two
+//     updates conflict at the root, destroying the TLE scalability the
+//     paper reports for uniform workloads; with conditional writes,
+//     updates in disjoint subtrees share only reads.
+//   * A "look-aside" copy of the root's key is maintained (the paper's few
+//     trivial changes), read non-transactionally by should_help to select
+//     only pending operations on the same side of the root. The value may
+//     be stale — that can only affect performance, never correctness.
+//
+// Batch combining/elimination over set operations lives in
+// adapters/avl_ops.hpp; here we provide the plain set interface.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "sim_htm/htm.hpp"
+#include "sim_htm/txcell.hpp"
+
+namespace hcf::ds {
+
+template <htm::detail::TxValue K>
+class AvlTree {
+ public:
+  struct Node {
+    explicit Node(K k) {
+      key.init(k);
+      height.init(1);
+    }
+    htm::TxField<K> key;  // mutable: delete-by-successor copies keys
+    htm::TxField<std::int32_t> height{1};
+    htm::TxField<Node*> left{nullptr};
+    htm::TxField<Node*> right{nullptr};
+  };
+
+  AvlTree() = default;
+  ~AvlTree() { destroy(root_.get()); }
+  AvlTree(const AvlTree&) = delete;
+  AvlTree& operator=(const AvlTree&) = delete;
+
+  bool insert(K key) {
+    bool added = false;
+    Node* new_root = insert_rec(root_.get(), key, &added);
+    set_root(new_root);
+    return added;
+  }
+
+  bool remove(K key) {
+    bool removed = false;
+    Node* new_root = remove_rec(root_.get(), key, &removed);
+    if (removed) set_root(new_root);
+    return removed;
+  }
+
+  bool contains(K key) const {
+    Node* n = root_.get();
+    while (n != nullptr) {
+      const K nk = n->key.get();
+      if (key == nk) return true;
+      n = key < nk ? n->left.get() : n->right.get();
+    }
+    return false;
+  }
+
+  // Non-transactional peek at the root key (the look-aside variable used by
+  // should_help). May be stale; never wrong to act on.
+  bool root_key_hint(K* out) const noexcept {
+    if (!has_root_hint_field_.load_plain()) return false;
+    *out = root_key_hint_field_.load_plain();
+    return true;
+  }
+
+  // ---- test / inspection helpers (single-threaded use) ----
+
+  std::size_t size_slow() const { return count(root_.get()); }
+
+  bool check_invariants() const {
+    bool ok = true;
+    K prev{};
+    bool have_prev = false;
+    check_rec(root_.get(), &ok, &prev, &have_prev);
+    return ok;
+  }
+
+  template <typename F>
+  void for_each(F&& f) const {
+    in_order(root_.get(), f);
+  }
+
+  int height_of_root() const {
+    Node* r = root_.get();
+    return r == nullptr ? 0 : r->height.get();
+  }
+
+ private:
+  // ---- conditional-write helpers ----
+  static void set_child(htm::TxField<Node*>& field, Node* value) {
+    if (field.get() != value) field = value;
+  }
+  static void set_height(Node* n, std::int32_t h) {
+    if (n->height.get() != h) n->height = h;
+  }
+
+  static std::int32_t height(Node* n) {
+    return n == nullptr ? 0 : n->height.get();
+  }
+  static std::int32_t balance(Node* n) {
+    return height(n->left.get()) - height(n->right.get());
+  }
+  static void update_height(Node* n) {
+    set_height(n, 1 + std::max(height(n->left.get()), height(n->right.get())));
+  }
+
+  static Node* rotate_right(Node* y) {
+    Node* x = y->left.get();
+    Node* t2 = x->right.get();
+    x->right = y;
+    y->left = t2;
+    update_height(y);
+    update_height(x);
+    return x;
+  }
+
+  static Node* rotate_left(Node* x) {
+    Node* y = x->right.get();
+    Node* t2 = y->left.get();
+    y->left = x;
+    x->right = t2;
+    update_height(x);
+    update_height(y);
+    return y;
+  }
+
+  static Node* rebalance(Node* n) {
+    update_height(n);
+    const std::int32_t b = balance(n);
+    if (b > 1) {
+      if (balance(n->left.get()) < 0) n->left = rotate_left(n->left.get());
+      return rotate_right(n);
+    }
+    if (b < -1) {
+      if (balance(n->right.get()) > 0) n->right = rotate_right(n->right.get());
+      return rotate_left(n);
+    }
+    return n;
+  }
+
+  Node* insert_rec(Node* n, K key, bool* added) {
+    if (n == nullptr) {
+      *added = true;
+      return htm::make<Node>(key);
+    }
+    const K nk = n->key.get();
+    if (key == nk) return n;
+    if (key < nk) {
+      set_child(n->left, insert_rec(n->left.get(), key, added));
+    } else {
+      set_child(n->right, insert_rec(n->right.get(), key, added));
+    }
+    return *added ? rebalance(n) : n;
+  }
+
+  Node* remove_rec(Node* n, K key, bool* removed) {
+    if (n == nullptr) return nullptr;
+    const K nk = n->key.get();
+    if (key < nk) {
+      set_child(n->left, remove_rec(n->left.get(), key, removed));
+    } else if (key > nk) {
+      set_child(n->right, remove_rec(n->right.get(), key, removed));
+    } else {
+      *removed = true;
+      Node* l = n->left.get();
+      Node* r = n->right.get();
+      if (l == nullptr || r == nullptr) {
+        htm::retire(n);
+        return l != nullptr ? l : r;
+      }
+      // Two children: copy in-order successor's key, then delete it.
+      Node* succ = r;
+      while (succ->left.get() != nullptr) succ = succ->left.get();
+      const K sk = succ->key.get();
+      n->key = sk;
+      bool dummy = false;
+      set_child(n->right, remove_rec(r, sk, &dummy));
+    }
+    return *removed ? rebalance(n) : n;
+  }
+
+  void set_root(Node* new_root) {
+    if (root_.get() != new_root) root_ = new_root;
+    // Maintain the look-aside root key. Conditional writes keep it off the
+    // hot path for updates that do not move the root.
+    if (new_root == nullptr) {
+      if (has_root_hint_field_.get()) has_root_hint_field_ = false;
+      return;
+    }
+    const K rk = new_root->key.get();
+    if (!has_root_hint_field_.get()) has_root_hint_field_ = true;
+    if (root_key_hint_field_.get() != rk) root_key_hint_field_ = rk;
+  }
+
+  static void destroy(Node* n) {
+    if (n == nullptr) return;
+    destroy(n->left.get());
+    destroy(n->right.get());
+    delete n;
+  }
+
+  static std::size_t count(Node* n) {
+    return n == nullptr
+               ? 0
+               : 1 + count(n->left.get()) + count(n->right.get());
+  }
+
+  static std::int32_t check_rec(Node* n, bool* ok, K* prev, bool* have_prev) {
+    if (n == nullptr || !*ok) return 0;
+    const std::int32_t lh = check_rec(n->left.get(), ok, prev, have_prev);
+    if (*have_prev && !(*prev < n->key.get())) *ok = false;  // sortedness
+    *prev = n->key.get();
+    *have_prev = true;
+    const std::int32_t rh = check_rec(n->right.get(), ok, prev, have_prev);
+    const std::int32_t h = 1 + std::max(lh, rh);
+    if (n->height.get() != h) *ok = false;       // height bookkeeping
+    if (lh - rh > 1 || rh - lh > 1) *ok = false;  // AVL balance
+    return h;
+  }
+
+  template <typename F>
+  static void in_order(Node* n, F&& f) {
+    if (n == nullptr) return;
+    in_order(n->left.get(), f);
+    f(n->key.get());
+    in_order(n->right.get(), f);
+  }
+
+  htm::TxField<Node*> root_{nullptr};
+  // Look-aside root key (§3.4), read with load_plain() by should_help.
+  htm::TxField<K> root_key_hint_field_{};
+  htm::TxField<bool> has_root_hint_field_{false};
+};
+
+}  // namespace hcf::ds

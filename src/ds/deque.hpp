@@ -1,0 +1,224 @@
+// Sequential doubly-linked deque (paper §2.4's "operations on different
+// ends of a double-ended queue" example). Left-end and right-end operations
+// conflict with their own end but — when the deque is long enough — not
+// with the opposite end, which is exactly the structure HCF's multiple
+// publication arrays exploit (one array + combiner per end).
+//
+// Batch hooks: push_n_left / push_n_right splice a privately-built chain
+// with one write of the end pointer; pop_n_left / pop_n_right unlink a
+// batch with one write per end.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <optional>
+#include <span>
+
+#include "sim_htm/htm.hpp"
+#include "sim_htm/txcell.hpp"
+
+namespace hcf::ds {
+
+template <htm::detail::TxValue T>
+class Deque {
+ public:
+  struct Node {
+    explicit Node(T v) : value(v) {}
+    const T value;
+    htm::TxField<Node*> prev{nullptr};
+    htm::TxField<Node*> next{nullptr};
+  };
+
+  Deque() = default;
+  ~Deque() {
+    Node* n = left_.get();
+    while (n != nullptr) {
+      Node* next = n->next.get();
+      delete n;
+      n = next;
+    }
+  }
+  Deque(const Deque&) = delete;
+  Deque& operator=(const Deque&) = delete;
+
+  void push_left(T value) {
+    Node* node = htm::make<Node>(value);
+    Node* old = left_.get();
+    node->next.init(old);
+    if (old != nullptr) {
+      old->prev = node;
+    } else {
+      right_ = node;
+    }
+    left_ = node;
+  }
+
+  void push_right(T value) {
+    Node* node = htm::make<Node>(value);
+    Node* old = right_.get();
+    node->prev.init(old);
+    if (old != nullptr) {
+      old->next = node;
+    } else {
+      left_ = node;
+    }
+    right_ = node;
+  }
+
+  std::optional<T> pop_left() {
+    Node* node = left_.get();
+    if (node == nullptr) return std::nullopt;
+    const T value = node->value;
+    Node* next = node->next.get();
+    left_ = next;
+    if (next != nullptr) {
+      next->prev = nullptr;
+    } else {
+      right_ = nullptr;
+    }
+    htm::retire(node);
+    return value;
+  }
+
+  std::optional<T> pop_right() {
+    Node* node = right_.get();
+    if (node == nullptr) return std::nullopt;
+    const T value = node->value;
+    Node* prev = node->prev.get();
+    right_ = prev;
+    if (prev != nullptr) {
+      prev->next = nullptr;
+    } else {
+      left_ = nullptr;
+    }
+    htm::retire(node);
+    return value;
+  }
+
+  // Pushes values[0..n) so that values[0] ends up outermost on the left.
+  void push_n_left(std::span<const T> values) {
+    if (values.empty()) return;
+    // Build the chain privately: values[0] <-> values[1] <-> ...
+    Node* chain_head = htm::make<Node>(values[0]);
+    Node* chain_tail = chain_head;
+    for (std::size_t i = 1; i < values.size(); ++i) {
+      Node* node = htm::make<Node>(values[i]);
+      node->prev.init(chain_tail);
+      chain_tail->next.init(node);
+      chain_tail = node;
+    }
+    Node* old = left_.get();
+    chain_tail->next.init(old);
+    if (old != nullptr) {
+      old->prev = chain_tail;
+    } else {
+      right_ = chain_tail;
+    }
+    left_ = chain_head;
+  }
+
+  // Pushes values[0..n) so that values[0] ends up outermost on the right.
+  void push_n_right(std::span<const T> values) {
+    if (values.empty()) return;
+    Node* chain_tail = htm::make<Node>(values[0]);  // outermost right
+    Node* chain_head = chain_tail;
+    for (std::size_t i = 1; i < values.size(); ++i) {
+      Node* node = htm::make<Node>(values[i]);
+      node->next.init(chain_head);
+      chain_head->prev.init(node);
+      chain_head = node;
+    }
+    Node* old = right_.get();
+    chain_head->prev.init(old);
+    if (old != nullptr) {
+      old->next = chain_head;
+    } else {
+      left_ = chain_head;
+    }
+    right_ = chain_tail;
+  }
+
+  // Pops up to out.size() values from the left; returns the count.
+  std::size_t pop_n_left(std::span<T> out) {
+    std::size_t n = 0;
+    Node* cur = left_.get();
+    Node* last = nullptr;
+    while (n < out.size() && cur != nullptr) {
+      out[n++] = cur->value;
+      last = cur;
+      cur = cur->next.get();
+    }
+    if (n == 0) return 0;
+    left_ = cur;
+    if (cur != nullptr) {
+      cur->prev = nullptr;
+    } else {
+      right_ = nullptr;
+    }
+    // Retire the unlinked prefix.
+    Node* p = last;
+    for (std::size_t i = 0; i < n; ++i) {
+      Node* prev = p->prev.get();
+      htm::retire(p);
+      p = prev;
+    }
+    return n;
+  }
+
+  std::size_t pop_n_right(std::span<T> out) {
+    std::size_t n = 0;
+    Node* cur = right_.get();
+    Node* last = nullptr;
+    while (n < out.size() && cur != nullptr) {
+      out[n++] = cur->value;
+      last = cur;
+      cur = cur->prev.get();
+    }
+    if (n == 0) return 0;
+    right_ = cur;
+    if (cur != nullptr) {
+      cur->next = nullptr;
+    } else {
+      left_ = nullptr;
+    }
+    Node* p = last;
+    for (std::size_t i = 0; i < n; ++i) {
+      Node* next = p->next.get();
+      htm::retire(p);
+      p = next;
+    }
+    return n;
+  }
+
+  bool empty() const { return left_.get() == nullptr; }
+
+  std::size_t size_slow() const {
+    std::size_t count = 0;
+    for (Node* n = left_.get(); n != nullptr; n = n->next.get()) ++count;
+    return count;
+  }
+
+  // Doubly-linked consistency: forward and backward traversals agree.
+  bool check_invariants() const {
+    Node* prev = nullptr;
+    for (Node* n = left_.get(); n != nullptr; n = n->next.get()) {
+      if (n->prev.get() != prev) return false;
+      prev = n;
+    }
+    if (right_.get() != prev) return false;
+    return true;
+  }
+
+  template <typename F>
+  void for_each(F&& f) const {
+    for (Node* n = left_.get(); n != nullptr; n = n->next.get()) {
+      f(n->value);
+    }
+  }
+
+ private:
+  htm::TxField<Node*> left_{nullptr};
+  htm::TxField<Node*> right_{nullptr};
+};
+
+}  // namespace hcf::ds

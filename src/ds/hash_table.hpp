@@ -1,0 +1,255 @@
+// Sequential hash table, following the paper's §3.3 design exactly:
+//
+//   * a preset number of buckets, each a singly-linked list of key-value
+//     nodes;
+//   * a global doubly-linked "table list" threading every node, supporting
+//     efficient whole-table iteration. Insert pushes at the table-list
+//     head (the contention point); Remove unlinks from a random position
+//     (rarely a conflict); Find never touches it.
+//   * Insert-n: inserts a batch of pairs, chaining the new nodes so the
+//     table-list head is written once per batch — the combining hook the
+//     paper adds for FC/HCF.
+//
+// The code is sequential: no concurrency logic appears here. Fields are
+// TxField, whose accesses are plain when running under the lock and
+// instrumented inside a hardware transaction — the mechanical substitute
+// for real HTM's transparent cache-line tracking (see DESIGN.md).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "sim_htm/htm.hpp"
+#include "sim_htm/txcell.hpp"
+#include "util/rng.hpp"
+
+namespace hcf::ds {
+
+template <htm::detail::TxValue K, htm::detail::TxValue V>
+class HashTable {
+ public:
+  struct Node {
+    Node(K k, V v) : key(k) { value.init(v); }
+    const K key;  // immutable once published; reads need no instrumentation
+    htm::TxField<V> value;
+    htm::TxField<Node*> bucket_next{nullptr};
+    htm::TxField<Node*> list_prev{nullptr};
+    htm::TxField<Node*> list_next{nullptr};
+  };
+
+  explicit HashTable(std::size_t num_buckets)
+      : mask_(round_up_pow2(num_buckets) - 1),
+        buckets_(round_up_pow2(num_buckets)) {}
+
+  ~HashTable() {
+    Node* n = list_head_.get();
+    while (n) {
+      Node* next = n->list_next.get();
+      delete n;
+      n = next;
+    }
+  }
+
+  HashTable(const HashTable&) = delete;
+  HashTable& operator=(const HashTable&) = delete;
+
+  // Inserts (key, value); if the key exists, updates the value in place.
+  // Returns true iff a new node was inserted.
+  bool insert(K key, V value) {
+    htm::TxField<Node*>& bucket = bucket_for(key);
+    for (Node* n = bucket.get(); n != nullptr; n = n->bucket_next.get()) {
+      if (n->key == key) {
+        n->value = value;
+        return false;
+      }
+    }
+    Node* node = htm::make<Node>(key, value);
+    link_bucket(bucket, node);
+    link_table_list(node);
+    return true;
+  }
+
+  std::optional<V> find(K key) const {
+    const htm::TxField<Node*>& bucket = bucket_for(key);
+    for (Node* n = bucket.get(); n != nullptr; n = n->bucket_next.get()) {
+      if (n->key == key) return n->value.get();
+    }
+    return std::nullopt;
+  }
+
+  bool contains(K key) const { return find(key).has_value(); }
+
+  // Removes the key from its bucket *and* from the table list (§3.3).
+  // Returns true iff the key was present.
+  bool remove(K key) {
+    htm::TxField<Node*>& bucket = bucket_for(key);
+    Node* prev = nullptr;
+    for (Node* n = bucket.get(); n != nullptr;
+         prev = n, n = n->bucket_next.get()) {
+      if (n->key != key) continue;
+      Node* next = n->bucket_next.get();
+      if (prev != nullptr) {
+        prev->bucket_next = next;
+      } else {
+        bucket = next;
+      }
+      unlink_table_list(n);
+      htm::retire(n);
+      return true;
+    }
+    return false;
+  }
+
+  // Insert-n: applies `kvs` as one batch. results[i] is set to true iff
+  // kvs[i] inserted a new node (false means value update). New nodes are
+  // chained privately and spliced into the table list with a single write
+  // of the head pointer, regardless of batch size.
+  void insert_n(std::span<const std::pair<K, V>> kvs,
+                std::span<bool> results) {
+    assert(results.size() >= kvs.size());
+    Node* chain_head = nullptr;
+    Node* chain_tail = nullptr;
+    for (std::size_t i = 0; i < kvs.size(); ++i) {
+      const auto [key, value] = kvs[i];
+      htm::TxField<Node*>& bucket = bucket_for(key);
+      Node* existing = nullptr;
+      for (Node* n = bucket.get(); n != nullptr; n = n->bucket_next.get()) {
+        if (n->key == key) {
+          existing = n;
+          break;
+        }
+      }
+      if (existing != nullptr) {
+        existing->value = value;
+        results[i] = false;
+        continue;
+      }
+      Node* node = htm::make<Node>(key, value);
+      link_bucket(bucket, node);
+      // Chain privately; list_prev fixed up during the splice below.
+      node->list_next.init(chain_head);
+      if (chain_head != nullptr) {
+        chain_head->list_prev.init(node);
+      } else {
+        chain_tail = node;
+      }
+      chain_head = node;
+      results[i] = true;
+    }
+    if (chain_head != nullptr) splice_table_list(chain_head, chain_tail);
+  }
+
+  // Iterates key-value pairs in table-list order (most recent first).
+  template <typename F>
+  void for_each(F&& f) const {
+    for (Node* n = list_head_.get(); n != nullptr; n = n->list_next.get()) {
+      f(n->key, n->value.get());
+    }
+  }
+
+  // O(n) element count via the table list.
+  std::size_t size_slow() const {
+    std::size_t count = 0;
+    for (Node* n = list_head_.get(); n != nullptr; n = n->list_next.get()) {
+      ++count;
+    }
+    return count;
+  }
+
+  std::size_t bucket_count() const noexcept { return mask_ + 1; }
+
+  // Structural invariant check for tests: every node is in exactly the
+  // bucket its key hashes to, bucket membership matches table-list
+  // membership, and the table list is consistently doubly linked.
+  bool check_invariants() const {
+    std::size_t list_count = 0;
+    Node* prev = nullptr;
+    for (Node* n = list_head_.get(); n != nullptr; n = n->list_next.get()) {
+      if (n->list_prev.get() != prev) return false;
+      if (!bucket_contains(n)) return false;
+      prev = n;
+      ++list_count;
+    }
+    std::size_t bucket_total = 0;
+    for (const auto& b : buckets_) {
+      for (Node* n = b.get(); n != nullptr; n = n->bucket_next.get()) {
+        ++bucket_total;
+        if (bucket_index(n->key) !=
+            static_cast<std::size_t>(&b - buckets_.data())) {
+          return false;
+        }
+      }
+    }
+    return bucket_total == list_count;
+  }
+
+ private:
+  static std::size_t round_up_pow2(std::size_t n) noexcept {
+    std::size_t p = 1;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  std::size_t bucket_index(K key) const noexcept {
+    return static_cast<std::size_t>(
+               util::mix64(static_cast<std::uint64_t>(key))) &
+           mask_;
+  }
+
+  htm::TxField<Node*>& bucket_for(K key) noexcept {
+    return buckets_[bucket_index(key)];
+  }
+  const htm::TxField<Node*>& bucket_for(K key) const noexcept {
+    return buckets_[bucket_index(key)];
+  }
+
+  static void link_bucket(htm::TxField<Node*>& bucket, Node* node) {
+    node->bucket_next.init(bucket.get());
+    bucket = node;
+  }
+
+  void link_table_list(Node* node) {
+    Node* head = list_head_.get();
+    node->list_next.init(head);
+    node->list_prev.init(nullptr);
+    if (head != nullptr) head->list_prev = node;
+    list_head_ = node;
+  }
+
+  void unlink_table_list(Node* node) {
+    Node* prev = node->list_prev.get();
+    Node* next = node->list_next.get();
+    if (prev != nullptr) {
+      prev->list_next = next;
+    } else {
+      list_head_ = next;
+    }
+    if (next != nullptr) next->list_prev = prev;
+  }
+
+  void splice_table_list(Node* chain_head, Node* chain_tail) {
+    Node* old_head = list_head_.get();
+    chain_tail->list_next.init(old_head);
+    chain_head->list_prev.init(nullptr);
+    if (old_head != nullptr) old_head->list_prev = chain_tail;
+    list_head_ = chain_head;
+  }
+
+  bool bucket_contains(Node* node) const {
+    for (Node* n = bucket_for(node->key).get(); n != nullptr;
+         n = n->bucket_next.get()) {
+      if (n == node) return true;
+    }
+    return false;
+  }
+
+  std::size_t mask_;
+  std::vector<htm::TxField<Node*>> buckets_;
+  htm::TxField<Node*> list_head_{nullptr};
+};
+
+}  // namespace hcf::ds

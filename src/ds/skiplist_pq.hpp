@@ -1,0 +1,176 @@
+// Sequential skip-list-based priority queue (the paper's §1 motivating
+// example): Insert operations on random keys touch disjoint regions and can
+// run concurrently on HTM, while RemoveMin operations all contend on the
+// head of the list and always conflict — precisely the split HCF targets.
+//
+// RemoveMin-n removes the n smallest keys with one write of each head
+// pointer level, the combining hook used by the HCF priority-queue
+// configuration (k combined RemoveMins cost barely more than one).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "sim_htm/htm.hpp"
+#include "sim_htm/txcell.hpp"
+#include "util/rng.hpp"
+#include "util/thread_id.hpp"
+
+namespace hcf::ds {
+
+template <htm::detail::TxValue K>
+class SkipListPq {
+ public:
+  static constexpr int kMaxLevel = 16;
+
+  struct Node {
+    Node(K k, int lvl) : key(k), level(lvl) {}
+    const K key;
+    const int level;  // number of levels this node participates in (>= 1)
+    htm::TxField<Node*> next[kMaxLevel];
+  };
+
+  SkipListPq() : head_(K{}, kMaxLevel) {}
+
+  ~SkipListPq() {
+    Node* n = head_.next[0].get();
+    while (n != nullptr) {
+      Node* next = n->next[0].get();
+      delete n;
+      n = next;
+    }
+  }
+
+  SkipListPq(const SkipListPq&) = delete;
+  SkipListPq& operator=(const SkipListPq&) = delete;
+
+  // Inserts a key (duplicates allowed — it is a priority queue, not a set).
+  void insert(K key) {
+    Node* preds[kMaxLevel];
+    find_predecessors(key, preds);
+    const int level = random_level();
+    Node* node = htm::make<Node>(key, level);
+    for (int l = 0; l < level; ++l) {
+      node->next[l].init(preds[l]->next[l].get());
+      preds[l]->next[l] = node;
+    }
+  }
+
+  // Removes and returns the smallest key, or nullopt when empty. Always
+  // reads and writes head_.next[0] — the designed-in contention point.
+  std::optional<K> remove_min() {
+    Node* first = head_.next[0].get();
+    if (first == nullptr) return std::nullopt;
+    const K key = first->key;
+    for (int l = 0; l < first->level; ++l) {
+      head_.next[l] = first->next[l].get();
+    }
+    htm::retire(first);
+    return key;
+  }
+
+  // Removes up to `out.size()` smallest keys; returns how many were
+  // removed. Each head level is rewritten once for the whole batch.
+  std::size_t remove_min_n(std::span<K> out) {
+    std::size_t n = 0;
+    Node* cursor = head_.next[0].get();
+    Node* removed[util::kMaxThreads > 64 ? util::kMaxThreads : 64];
+    int max_level = 0;
+    while (n < out.size() && cursor != nullptr &&
+           n < std::size(removed)) {
+      out[n] = cursor->key;
+      removed[n] = cursor;
+      if (cursor->level > max_level) max_level = cursor->level;
+      cursor = cursor->next[0].get();
+      ++n;
+    }
+    if (n == 0) return 0;
+    // `cursor` is the first survivor in level-0 order. For each level, the
+    // new head successor is the first survivor present at that level; all
+    // removed nodes are a prefix of every level's list, so we can follow
+    // the removed nodes' own next pointers.
+    for (int l = 0; l < max_level; ++l) {
+      Node* succ = head_.next[l].get();
+      while (succ != nullptr && is_removed(removed, n, succ)) {
+        succ = succ->next[l].get();
+      }
+      head_.next[l] = succ;
+    }
+    for (std::size_t i = 0; i < n; ++i) htm::retire(removed[i]);
+    return n;
+  }
+
+  std::optional<K> peek_min() const {
+    Node* first = head_.next[0].get();
+    if (first == nullptr) return std::nullopt;
+    return first->key;
+  }
+
+  bool empty() const { return head_.next[0].get() == nullptr; }
+
+  std::size_t size_slow() const {
+    std::size_t count = 0;
+    for (Node* n = head_.next[0].get(); n != nullptr; n = n->next[0].get()) {
+      ++count;
+    }
+    return count;
+  }
+
+  // Invariants: each level sorted, every level-l list is a sublist of
+  // level l-1, bottom level contains all nodes.
+  bool check_invariants() const {
+    for (int l = 0; l < kMaxLevel; ++l) {
+      Node* prev = nullptr;
+      for (Node* n = head_.next[l].get(); n != nullptr;
+           n = n->next[l].get()) {
+        if (n->level <= l) return false;
+        if (prev != nullptr && n->key < prev->key) return false;
+        if (l > 0 && !level_below_contains(n, l - 1)) return false;
+        prev = n;
+      }
+    }
+    return true;
+  }
+
+ private:
+  void find_predecessors(K key, Node* preds[kMaxLevel]) {
+    Node* cur = &head_;
+    for (int l = kMaxLevel - 1; l >= 0; --l) {
+      Node* next = cur->next[l].get();
+      while (next != nullptr && next->key < key) {
+        cur = next;
+        next = cur->next[l].get();
+      }
+      preds[l] = cur;
+    }
+  }
+
+  static bool is_removed(Node* const* removed, std::size_t n, Node* node) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (removed[i] == node) return true;
+    }
+    return false;
+  }
+
+  bool level_below_contains(Node* node, int level) const {
+    for (Node* n = head_.next[level].get(); n != nullptr;
+         n = n->next[level].get()) {
+      if (n == node) return true;
+    }
+    return false;
+  }
+
+  static int random_level() {
+    thread_local util::Xoshiro256 rng(0x5517 ^ util::this_thread_id());
+    int level = 1;
+    while (level < kMaxLevel && (rng.next() & 3) == 0) ++level;
+    return level;
+  }
+
+  Node head_;
+};
+
+}  // namespace hcf::ds

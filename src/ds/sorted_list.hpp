@@ -1,0 +1,174 @@
+// Sequential sorted singly-linked list set — the classic coarse-grained
+// testbed from the TLE/FC literature (long traversals, large read sets,
+// updates anywhere in the list). Complements the hash table (short ops,
+// one hotspot) and the AVL tree (logarithmic ops): list operations are
+// linear, so capacity aborts and read-set validation costs actually matter.
+//
+// Batch hook: apply_sorted_batch performs one traversal for an entire
+// key-sorted batch of insert/remove/contains operations — the natural
+// combining for a sorted structure (k operations in one O(n + k) pass
+// instead of k O(n) passes).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <optional>
+#include <span>
+
+#include "sim_htm/htm.hpp"
+#include "sim_htm/txcell.hpp"
+
+namespace hcf::ds {
+
+template <htm::detail::TxValue K>
+class SortedList {
+ public:
+  struct Node {
+    explicit Node(K k) : key(k) {}
+    const K key;
+    htm::TxField<Node*> next{nullptr};
+  };
+
+  enum class BatchOpKind : std::uint8_t { Contains, Insert, Remove };
+  struct BatchOp {
+    K key;
+    BatchOpKind kind;
+    bool result;  // out
+  };
+
+  SortedList() = default;
+  ~SortedList() {
+    Node* n = head_.get();
+    while (n != nullptr) {
+      Node* next = n->next.get();
+      delete n;
+      n = next;
+    }
+  }
+  SortedList(const SortedList&) = delete;
+  SortedList& operator=(const SortedList&) = delete;
+
+  bool insert(K key) {
+    Node* prev = nullptr;
+    Node* cur = head_.get();
+    while (cur != nullptr && cur->key < key) {
+      prev = cur;
+      cur = cur->next.get();
+    }
+    if (cur != nullptr && cur->key == key) return false;
+    Node* node = htm::make<Node>(key);
+    node->next.init(cur);
+    set_next(prev, node);
+    return true;
+  }
+
+  bool remove(K key) {
+    Node* prev = nullptr;
+    Node* cur = head_.get();
+    while (cur != nullptr && cur->key < key) {
+      prev = cur;
+      cur = cur->next.get();
+    }
+    if (cur == nullptr || cur->key != key) return false;
+    set_next(prev, cur->next.get());
+    htm::retire(cur);
+    return true;
+  }
+
+  bool contains(K key) const {
+    Node* cur = head_.get();
+    while (cur != nullptr && cur->key < key) cur = cur->next.get();
+    return cur != nullptr && cur->key == key;
+  }
+
+  // Applies a batch of operations *sorted by key* in a single traversal.
+  // Operations on equal keys are applied in batch order against the
+  // evolving state (combining + elimination, as in the AVL adapter).
+  // Precondition: ops sorted ascending by key.
+  void apply_sorted_batch(std::span<BatchOp> ops) {
+    Node* prev = nullptr;
+    Node* cur = head_.get();
+    std::size_t i = 0;
+    while (i < ops.size()) {
+      const K key = ops[i].key;
+      assert(i == 0 || ops[i - 1].key <= key);
+      while (cur != nullptr && cur->key < key) {
+        prev = cur;
+        cur = cur->next.get();
+      }
+      bool present = cur != nullptr && cur->key == key;
+      const bool initially_present = present;
+      std::size_t j = i;
+      while (j < ops.size() && ops[j].key == key) {
+        switch (ops[j].kind) {
+          case BatchOpKind::Contains:
+            ops[j].result = present;
+            break;
+          case BatchOpKind::Insert:
+            ops[j].result = !present;
+            present = true;
+            break;
+          case BatchOpKind::Remove:
+            ops[j].result = present;
+            present = false;
+            break;
+        }
+        ++j;
+      }
+      if (present != initially_present) {
+        if (present) {
+          Node* node = htm::make<Node>(key);
+          node->next.init(cur);
+          set_next(prev, node);
+          prev = node;  // continue scanning after the new node
+        } else {
+          Node* next = cur->next.get();
+          set_next(prev, next);
+          htm::retire(cur);
+          cur = next;
+        }
+      } else if (initially_present) {
+        // Key stays; step past it so later (larger) keys continue from here.
+        prev = cur;
+        cur = cur->next.get();
+      }
+      i = j;
+    }
+  }
+
+  std::size_t size_slow() const {
+    std::size_t count = 0;
+    for (Node* n = head_.get(); n != nullptr; n = n->next.get()) ++count;
+    return count;
+  }
+
+  bool empty() const { return head_.get() == nullptr; }
+
+  // Invariant: strictly ascending keys.
+  bool check_invariants() const {
+    Node* prev = nullptr;
+    for (Node* n = head_.get(); n != nullptr; n = n->next.get()) {
+      if (prev != nullptr && !(prev->key < n->key)) return false;
+      prev = n;
+    }
+    return true;
+  }
+
+  template <typename F>
+  void for_each(F&& f) const {
+    for (Node* n = head_.get(); n != nullptr; n = n->next.get()) f(n->key);
+  }
+
+ private:
+  void set_next(Node* prev, Node* value) {
+    if (prev == nullptr) {
+      head_ = value;
+    } else {
+      prev->next = value;
+    }
+  }
+
+  htm::TxField<Node*> head_{nullptr};
+};
+
+}  // namespace hcf::ds

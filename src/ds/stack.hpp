@@ -1,0 +1,110 @@
+// Sequential linked stack — the classic flat-combining testbed (the paper
+// cites FC stacks outperforming all concurrent alternatives, and notes HCF
+// is *not* expected to win here: every operation conflicts at the top).
+//
+// Batch hooks: push_n (one top write for the whole chain), pop_n (one top
+// write). Elimination lives in adapters/stack_ops.hpp, where concurrent
+// Push/Pop pairs cancel without touching the stack at all — the strongest
+// form of combining the FC literature describes.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+
+#include "sim_htm/htm.hpp"
+#include "sim_htm/txcell.hpp"
+
+namespace hcf::ds {
+
+template <htm::detail::TxValue T>
+class Stack {
+ public:
+  struct Node {
+    explicit Node(T v) : value(v) {}
+    const T value;
+    htm::TxField<Node*> next{nullptr};
+  };
+
+  Stack() = default;
+  ~Stack() {
+    Node* n = top_.get();
+    while (n != nullptr) {
+      Node* next = n->next.get();
+      delete n;
+      n = next;
+    }
+  }
+  Stack(const Stack&) = delete;
+  Stack& operator=(const Stack&) = delete;
+
+  void push(T value) {
+    Node* node = htm::make<Node>(value);
+    node->next.init(top_.get());
+    top_ = node;
+  }
+
+  std::optional<T> pop() {
+    Node* node = top_.get();
+    if (node == nullptr) return std::nullopt;
+    top_ = node->next.get();
+    const T value = node->value;
+    htm::retire(node);
+    return value;
+  }
+
+  std::optional<T> peek() const {
+    Node* node = top_.get();
+    if (node == nullptr) return std::nullopt;
+    return node->value;
+  }
+
+  // Pushes values[0..n); values[n-1] ends up on top. One top write.
+  void push_n(std::span<const T> values) {
+    if (values.empty()) return;
+    Node* chain_top = nullptr;
+    Node* chain_bottom = nullptr;
+    for (const T& v : values) {
+      Node* node = htm::make<Node>(v);
+      node->next.init(chain_top);
+      if (chain_bottom == nullptr) chain_bottom = node;
+      chain_top = node;
+    }
+    // chain_top holds values[n-1] ... values[0] == chain_bottom; link the
+    // chain bottom to the current top with private writes, then publish.
+    chain_bottom->next.init(top_.get());
+    top_ = chain_top;
+  }
+
+  // Pops up to out.size() values (top first); one top write.
+  std::size_t pop_n(std::span<T> out) {
+    std::size_t n = 0;
+    Node* cur = top_.get();
+    while (n < out.size() && cur != nullptr) {
+      out[n++] = cur->value;
+      Node* next = cur->next.get();
+      htm::retire(cur);
+      cur = next;
+    }
+    if (n > 0) top_ = cur;
+    return n;
+  }
+
+  bool empty() const { return top_.get() == nullptr; }
+
+  std::size_t size_slow() const {
+    std::size_t count = 0;
+    for (Node* n = top_.get(); n != nullptr; n = n->next.get()) ++count;
+    return count;
+  }
+
+  template <typename F>
+  void for_each(F&& f) const {
+    for (Node* n = top_.get(); n != nullptr; n = n->next.get()) f(n->value);
+  }
+
+ private:
+  htm::TxField<Node*> top_{nullptr};
+};
+
+}  // namespace hcf::ds

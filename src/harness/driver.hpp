@@ -1,0 +1,162 @@
+// Timed multi-thread benchmark driver.
+//
+// Spawns N worker threads, each repeatedly issuing one operation through an
+// engine until the stop flag fires. The driver resets engine + simulator
+// statistics after a warm-up interval so every reported number covers
+// exactly the measurement window, and pins threads with the paper's
+// fill-one-socket-first policy.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include <memory>
+
+#include "core/engine_stats.hpp"
+#include "sim_htm/stats.hpp"
+#include "util/affinity.hpp"
+#include "util/barrier.hpp"
+#include "util/histogram.hpp"
+
+namespace hcf::harness {
+
+struct RunResult {
+  std::uint64_t total_ops = 0;
+  double duration_s = 0.0;
+  core::EngineStatsSnapshot engine;
+  htm::StatsSnapshot htm;
+  std::uint64_t lock_acquisitions = 0;
+  // Operation latency percentiles in nanoseconds; only populated when
+  // DriverOptions::measure_latency is set.
+  std::uint64_t latency_p50_ns = 0;
+  std::uint64_t latency_p99_ns = 0;
+
+  double throughput_mops() const noexcept {
+    return duration_s == 0.0
+               ? 0.0
+               : static_cast<double>(total_ops) / duration_s / 1e6;
+  }
+
+  // Lock acquisitions per 1000 operations — the metric behind the paper's
+  // Fig. 4 discussion.
+  double lock_rate_per_kop() const noexcept {
+    return total_ops == 0 ? 0.0
+                          : 1000.0 * static_cast<double>(lock_acquisitions) /
+                                static_cast<double>(total_ops);
+  }
+
+  double aborts_per_op() const noexcept {
+    return total_ops == 0 ? 0.0
+                          : static_cast<double>(htm.total_aborts()) /
+                                static_cast<double>(total_ops);
+  }
+
+  // Instrumented shared-memory accesses per operation: the simulator's
+  // cache-traffic proxy (DESIGN.md on Fig. 4).
+  double shared_accesses_per_op() const noexcept {
+    return total_ops == 0
+               ? 0.0
+               : static_cast<double>(htm.tx_reads + htm.tx_writes +
+                                     htm.strong_stores) /
+                     static_cast<double>(total_ops);
+  }
+};
+
+struct DriverOptions {
+  std::chrono::milliseconds warmup{50};
+  std::chrono::milliseconds duration{300};
+  bool pin_threads = true;
+  // Yield between operations. With more workers than cores this emulates a
+  // loaded machine where threads are frequently preempted mid-wait, which
+  // is the arrival pattern that lets announced-operation backlogs form
+  // (EXPERIMENTS.md, "oversubscription and combining degree").
+  bool yield_every_op = false;
+  // Time every operation and report p50/p99 (adds ~2 clock reads per op).
+  bool measure_latency = false;
+};
+
+// `make_worker(thread_index)` returns a callable invoked repeatedly; each
+// call must execute exactly one operation through the engine. `engine`
+// only needs reset_stats() / stats() / lock_acquisitions().
+template <typename Engine, typename WorkerFactory>
+RunResult run_timed(Engine& engine, std::size_t num_threads,
+                    WorkerFactory&& make_worker,
+                    const DriverOptions& options = {}) {
+  std::atomic<bool> stop{false};
+  std::atomic<bool> measuring{false};
+  std::unique_ptr<util::LatencyHistogram> histogram_owner;
+  if (options.measure_latency) {
+    histogram_owner = std::make_unique<util::LatencyHistogram>();
+  }
+  util::LatencyHistogram* histogram = histogram_owner.get();
+  util::SpinBarrier barrier(num_threads + 1);
+  std::vector<std::uint64_t> ops_done(num_threads, 0);
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads);
+
+  for (std::size_t t = 0; t < num_threads; ++t) {
+    threads.emplace_back([&, t] {
+      if (options.pin_threads) util::pin_to_cpu(t);
+      auto worker = make_worker(t);
+      barrier.arrive_and_wait();  // start of warmup
+      std::uint64_t count = 0;
+      bool counting = false;
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (histogram != nullptr && counting) {
+          const auto op_start = std::chrono::steady_clock::now();
+          worker();
+          const auto op_end = std::chrono::steady_clock::now();
+          histogram->record(static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(op_end -
+                                                                   op_start)
+                  .count()));
+        } else {
+          worker();
+        }
+        if (options.yield_every_op) std::this_thread::yield();
+        if (counting) {
+          ++count;
+        } else if (measuring.load(std::memory_order_relaxed)) {
+          counting = true;  // measurement window opened
+        }
+      }
+      ops_done[t] = count;
+    });
+  }
+
+  barrier.arrive_and_wait();
+  std::this_thread::sleep_for(options.warmup);
+
+  engine.reset_stats();
+  htm::stats().reset();
+  const auto base_htm = htm::StatsSnapshot::capture();
+  const auto base_engine = core::EngineStatsSnapshot::capture(engine.stats());
+  const auto start = std::chrono::steady_clock::now();
+  measuring.store(true, std::memory_order_relaxed);
+
+  std::this_thread::sleep_for(options.duration);
+
+  stop.store(true, std::memory_order_relaxed);
+  const auto end = std::chrono::steady_clock::now();
+  for (auto& th : threads) th.join();
+
+  RunResult result;
+  result.duration_s =
+      std::chrono::duration<double>(end - start).count();
+  for (auto c : ops_done) result.total_ops += c;
+  result.engine = core::EngineStatsSnapshot::capture(engine.stats())
+                      .delta_since(base_engine);
+  result.htm = htm::StatsSnapshot::capture().delta_since(base_htm);
+  result.lock_acquisitions = engine.lock_acquisitions();
+  if (histogram != nullptr) {
+    result.latency_p50_ns = histogram->percentile(0.50);
+    result.latency_p99_ns = histogram->percentile(0.99);
+  }
+  return result;
+}
+
+}  // namespace hcf::harness

@@ -1,0 +1,182 @@
+// Per-thread operation issuers: own one descriptor of each kind, draw ops
+// from a WorkloadSpec, and push them through an engine. Shared by the
+// figure benchmarks, examples, and stress tests.
+#pragma once
+
+#include <cstdint>
+
+#include "adapters/avl_ops.hpp"
+#include "adapters/deque_ops.hpp"
+#include "adapters/ht_ops.hpp"
+#include "adapters/pq_ops.hpp"
+#include "harness/workload.hpp"
+
+namespace hcf::harness {
+
+// ---- Hash table -----------------------------------------------------------
+
+template <typename Engine>
+class HtWorker {
+ public:
+  using K = std::uint64_t;
+  using V = std::uint64_t;
+
+  HtWorker(Engine& engine, const WorkloadSpec& spec, std::uint64_t seed)
+      : engine_(engine), spec_(spec), keys_(spec, seed) {
+    find_.set_work(spec.cs_work);
+    insert_.set_work(spec.cs_work);
+    remove_.set_work(spec.cs_work);
+  }
+
+  void operator()() {
+    const K key = keys_.next_key();
+    const int p = keys_.next_percent();
+    if (p < spec_.find_pct) {
+      find_.set(key);
+      engine_.execute(find_);
+    } else if (p < spec_.find_pct + spec_.insert_pct) {
+      insert_.set(key, key * 2 + 1);
+      engine_.execute(insert_);
+    } else {
+      remove_.set(key);
+      engine_.execute(remove_);
+    }
+  }
+
+ private:
+  Engine& engine_;
+  WorkloadSpec spec_;
+  KeyGenerator keys_;
+  adapters::HtFindOp<K, V> find_;
+  adapters::HtInsertOp<K, V> insert_;
+  adapters::HtRemoveOp<K, V> remove_;
+};
+
+// ---- AVL tree --------------------------------------------------------------
+
+template <typename Engine, typename ContainsOp = adapters::AvlContainsOp<std::uint64_t>,
+          typename InsertOp = adapters::AvlInsertOp<std::uint64_t>,
+          typename RemoveOp = adapters::AvlRemoveOp<std::uint64_t>>
+class AvlWorker {
+ public:
+  using K = std::uint64_t;
+
+  AvlWorker(Engine& engine, const WorkloadSpec& spec, std::uint64_t seed)
+      : engine_(engine), spec_(spec), keys_(spec, seed) {
+    contains_.bind_tree(&engine.data());
+    insert_.bind_tree(&engine.data());
+    remove_.bind_tree(&engine.data());
+    contains_.set_work(spec.cs_work);
+    insert_.set_work(spec.cs_work);
+    remove_.set_work(spec.cs_work);
+  }
+
+  void operator()() {
+    const K key = keys_.next_key();
+    const int p = keys_.next_percent();
+    if (p < spec_.find_pct) {
+      contains_.set(key);
+      engine_.execute(contains_);
+    } else if (p < spec_.find_pct + spec_.insert_pct) {
+      insert_.set(key);
+      engine_.execute(insert_);
+    } else {
+      remove_.set(key);
+      engine_.execute(remove_);
+    }
+  }
+
+ private:
+  Engine& engine_;
+  WorkloadSpec spec_;
+  KeyGenerator keys_;
+  ContainsOp contains_;
+  InsertOp insert_;
+  RemoveOp remove_;
+};
+
+// ---- Priority queue --------------------------------------------------------
+
+template <typename Engine>
+class PqWorker {
+ public:
+  using K = std::uint64_t;
+
+  // insert_pct of operations are Insert, the rest RemoveMin.
+  PqWorker(Engine& engine, int insert_pct, std::uint64_t key_range,
+           std::uint64_t seed, std::uint32_t cs_work = 0)
+      : engine_(engine),
+        insert_pct_(insert_pct),
+        key_range_(key_range),
+        keys_(WorkloadSpec{.key_range = key_range, .prefill = 0}, seed) {
+    insert_.set_work(cs_work);
+    remove_min_.set_work(cs_work);
+  }
+
+  void operator()() {
+    if (keys_.next_percent() < insert_pct_) {
+      insert_.set(keys_.next_key());
+      engine_.execute(insert_);
+    } else {
+      engine_.execute(remove_min_);
+    }
+  }
+
+ private:
+  Engine& engine_;
+  int insert_pct_;
+  std::uint64_t key_range_;
+  KeyGenerator keys_;
+  adapters::PqInsertOp<K> insert_;
+  adapters::PqRemoveMinOp<K> remove_min_;
+};
+
+// ---- Deque -----------------------------------------------------------------
+
+template <typename Engine>
+class DequeWorker {
+ public:
+  using T = std::uint64_t;
+
+  // Each op picks a side uniformly (or is pinned to one side when
+  // `pin_side` >= 0) and then push vs pop with push_pct.
+  DequeWorker(Engine& engine, int push_pct, std::uint64_t seed,
+              int pin_side = -1)
+      : engine_(engine),
+        push_pct_(push_pct),
+        pin_side_(pin_side),
+        keys_(WorkloadSpec{.key_range = 1 << 20, .prefill = 0}, seed) {}
+
+  void operator()() {
+    const bool left =
+        pin_side_ >= 0 ? pin_side_ == 0 : (keys_.rng().next() & 1) == 0;
+    const bool push = keys_.next_percent() < push_pct_;
+    if (left) {
+      if (push) {
+        push_left_.set(keys_.next_key());
+        engine_.execute(push_left_);
+      } else {
+        engine_.execute(pop_left_);
+      }
+    } else {
+      if (push) {
+        push_right_.set(keys_.next_key());
+        engine_.execute(push_right_);
+      } else {
+        engine_.execute(pop_right_);
+      }
+    }
+  }
+
+ private:
+  Engine& engine_;
+  int push_pct_;
+  int pin_side_;
+  KeyGenerator keys_;
+  adapters::PushLeftOp<T> push_left_;
+  adapters::PopLeftOp<T> pop_left_;
+  adapters::PushRightOp<T> push_right_;
+  adapters::PopRightOp<T> pop_right_;
+};
+
+}  // namespace hcf::harness

@@ -1,0 +1,160 @@
+// A small linearizability checker (Wing & Gong style exhaustive search with
+// memoization) and a concurrent history recorder.
+//
+// Usage pattern (see tests/linearizability_test.cpp):
+//   * threads record each operation with invoke/response timestamps drawn
+//     from one global atomic counter (so o1 really-precedes o2 iff
+//     o1.response_seq < o2.invoke_seq);
+//   * histories are collected in *rounds* separated by barriers (a few ops
+//     per thread per round), keeping each search window small;
+//   * the checker threads the set of possible abstract states from round
+//     to round, so the full run is validated even though each window is
+//     checked independently.
+//
+// The sequential specification is a Model:
+//
+//   struct Model {
+//     using State = ...;   // regular + hashable via StateHash
+//     using Op = ...;      // operation descriptor incl. observed result
+//     // Applies op to state; returns false if the observed result is
+//     // impossible from this state (candidate linearization rejected).
+//     static bool apply(State& state, const Op& op);
+//   };
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+namespace hcf::harness {
+
+// Global sequence source for invoke/response stamps.
+class HistoryClock {
+ public:
+  std::uint64_t tick() noexcept {
+    return counter_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  void reset() noexcept { counter_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> counter_{0};
+};
+
+template <typename Op>
+struct TimedOp {
+  std::uint64_t invoke = 0;
+  std::uint64_t response = 0;
+  Op op{};
+};
+
+// Records one thread's operations; merge() combines threads for checking.
+template <typename Op>
+class HistoryRecorder {
+ public:
+  explicit HistoryRecorder(HistoryClock& clock) : clock_(&clock) {}
+
+  // Call around each operation:
+  std::uint64_t invoke() { return clock_->tick(); }
+  void response(std::uint64_t invoke_seq, Op op) {
+    ops_.push_back({invoke_seq, clock_->tick(), std::move(op)});
+  }
+
+  std::vector<TimedOp<Op>>& ops() noexcept { return ops_; }
+  void clear() { ops_.clear(); }
+
+ private:
+  HistoryClock* clock_;
+  std::vector<TimedOp<Op>> ops_;
+};
+
+template <typename Op>
+std::vector<TimedOp<Op>> merge_histories(
+    std::vector<std::vector<TimedOp<Op>>> threads) {
+  std::vector<TimedOp<Op>> all;
+  for (auto& t : threads) {
+    all.insert(all.end(), t.begin(), t.end());
+  }
+  std::sort(all.begin(), all.end(),
+            [](const TimedOp<Op>& a, const TimedOp<Op>& b) {
+              return a.invoke < b.invoke;
+            });
+  return all;
+}
+
+// Checks one window (up to 64 operations) against a Model, starting from
+// any state in `initial_states`. Returns the set of states a valid
+// linearization can end in; empty => NOT linearizable from those states.
+template <typename Model>
+class LinearizabilityChecker {
+ public:
+  using State = typename Model::State;
+  using Op = typename Model::Op;
+
+  static std::set<State> check_window(const std::vector<TimedOp<Op>>& window,
+                                      const std::set<State>& initial_states) {
+    std::set<State> finals;
+    if (window.size() > 64) return finals;  // caller must keep windows small
+    for (const State& init : initial_states) {
+      Search search(window);
+      search.run(init, 0);
+      finals.insert(search.finals.begin(), search.finals.end());
+    }
+    return finals;
+  }
+
+ private:
+  struct Search {
+    explicit Search(const std::vector<TimedOp<Op>>& w) : window(w) {}
+
+    const std::vector<TimedOp<Op>>& window;
+    std::set<State> finals;
+    // Memo of (done-mask, state) pairs already explored (dead or alive);
+    // exploring them again cannot add new final states.
+    std::set<std::pair<std::uint64_t, State>> visited;
+
+    void run(const State& state, std::uint64_t done_mask) {
+      if (done_mask + 1 == (std::uint64_t{1} << window.size()) ||
+          (window.size() == 64 && done_mask == ~std::uint64_t{0})) {
+        finals.insert(state);
+        return;
+      }
+      if (!visited.insert({done_mask, state}).second) return;
+
+      // An undone op may linearize next iff no other undone op's response
+      // precedes its invocation (it is not strictly after anything undone).
+      std::uint64_t min_response = ~std::uint64_t{0};
+      for (std::size_t i = 0; i < window.size(); ++i) {
+        if (done_mask & (std::uint64_t{1} << i)) continue;
+        min_response = std::min(min_response, window[i].response);
+      }
+      for (std::size_t i = 0; i < window.size(); ++i) {
+        const auto bit = std::uint64_t{1} << i;
+        if (done_mask & bit) continue;
+        if (window[i].invoke > min_response) continue;  // strictly after
+        State next = state;
+        if (!Model::apply(next, window[i].op)) continue;
+        run(next, done_mask | bit);
+      }
+    }
+  };
+};
+
+// Convenience: check a full history split into quiescent rounds (the caller
+// guarantees rounds were separated by barriers, i.e. no op of round r+1
+// invoked before every op of round r responded). Returns true iff every
+// round is linearizable, threading state sets between rounds.
+template <typename Model>
+bool check_rounds(
+    const std::vector<std::vector<TimedOp<typename Model::Op>>>& rounds,
+    typename Model::State initial) {
+  std::set<typename Model::State> states{std::move(initial)};
+  for (const auto& round : rounds) {
+    states = LinearizabilityChecker<Model>::check_window(round, states);
+    if (states.empty()) return false;
+  }
+  return true;
+}
+
+}  // namespace hcf::harness

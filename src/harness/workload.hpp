@@ -1,0 +1,95 @@
+// Workload specification shared by benchmarks and stress tests: an
+// operation mix over a key range with uniform or Zipfian key selection,
+// mirroring the paper's experimental setup (§3.2-§3.4).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/rng.hpp"
+#include "util/zipf.hpp"
+
+namespace hcf::harness {
+
+enum class KeyDist { Uniform, Zipfian };
+
+struct WorkloadSpec {
+  // Percentages in [0, 100]; the remainder after find is split between
+  // insert and remove by the caller's construction.
+  int find_pct = 100;
+  int insert_pct = 0;
+  int remove_pct = 0;
+
+  std::uint64_t key_range = 16 * 1024;
+  KeyDist dist = KeyDist::Uniform;
+  double zipf_theta = 0.0;
+
+  // Number of distinct keys inserted before measurement (the paper
+  // prefills to half the key range).
+  std::uint64_t prefill = 8 * 1024;
+
+  // Synthetic critical-section work per operation (spin iterations inside
+  // the transaction / lock). 0 reproduces the paper's parameters verbatim;
+  // nonzero widens conflict windows to reach the paper's contention regime
+  // on machines with few cores (EXPERIMENTS.md, "contention amplification").
+  std::uint32_t cs_work = 0;
+
+  // The paper's workload naming: N% find, rest split evenly.
+  static WorkloadSpec reads(int find_pct, std::uint64_t key_range,
+                            KeyDist dist = KeyDist::Uniform,
+                            double theta = 0.0) {
+    assert(find_pct >= 0 && find_pct <= 100);
+    WorkloadSpec spec;
+    spec.find_pct = find_pct;
+    spec.insert_pct = (100 - find_pct) / 2;
+    spec.remove_pct = 100 - find_pct - spec.insert_pct;
+    spec.key_range = key_range;
+    spec.prefill = key_range / 2;
+    spec.dist = dist;
+    spec.zipf_theta = theta;
+    return spec;
+  }
+
+  std::string label() const {
+    std::string s = std::to_string(find_pct) + "f/" +
+                    std::to_string(insert_pct) + "i/" +
+                    std::to_string(remove_pct) + "r";
+    if (dist == KeyDist::Zipfian) {
+      s += " zipf(" + std::to_string(zipf_theta).substr(0, 4) + ")";
+    }
+    if (cs_work != 0) s += " work=" + std::to_string(cs_work);
+    return s;
+  }
+};
+
+// Per-thread key generator for a spec. Construction is cheap enough to do
+// once per worker thread.
+class KeyGenerator {
+ public:
+  KeyGenerator(const WorkloadSpec& spec, std::uint64_t seed)
+      : rng_(seed), range_(spec.key_range) {
+    if (spec.dist == KeyDist::Zipfian) {
+      zipf_ = std::make_unique<util::ZipfianGenerator>(spec.key_range,
+                                                       spec.zipf_theta);
+    }
+  }
+
+  std::uint64_t next_key() {
+    if (zipf_ != nullptr) return zipf_->next(rng_);
+    return rng_.next_bounded(range_);
+  }
+
+  // Uniform draw in [0, 100) for op-mix selection.
+  int next_percent() { return static_cast<int>(rng_.next_bounded(100)); }
+
+  util::Xoshiro256& rng() noexcept { return rng_; }
+
+ private:
+  util::Xoshiro256 rng_;
+  std::uint64_t range_;
+  std::unique_ptr<util::ZipfianGenerator> zipf_;
+};
+
+}  // namespace hcf::harness

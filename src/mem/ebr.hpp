@@ -1,0 +1,192 @@
+// Epoch-based reclamation (EBR), classic three-epoch scheme.
+//
+// Why the simulator needs it: with lazy-versioning transactions, a doomed
+// transaction can hold a raw pointer to a node that a concurrent committer
+// has already unlinked. Opacity guarantees the doomed transaction aborts at
+// its next validated read, but it may dereference the stale pointer first —
+// so unlinked nodes must stay allocated until every operation that might
+// hold such a pointer has finished. Every engine operation runs under an
+// ebr::Guard; frees requested during the run are deferred until two epoch
+// advances have passed.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "util/cacheline.hpp"
+#include "util/thread_id.hpp"
+
+namespace hcf::mem {
+
+namespace detail {
+
+struct Reservation {
+  std::atomic<bool> active{false};
+  std::atomic<std::uint64_t> epoch{0};
+  std::uint32_t depth = 0;  // guard nesting, accessed only by owner
+};
+
+struct RetiredNode {
+  void* ptr;
+  void (*deleter)(void*);
+  std::uint64_t epoch;
+};
+
+}  // namespace detail
+
+class EbrDomain {
+ public:
+  static EbrDomain& instance() noexcept {
+    static EbrDomain dom;
+    return dom;
+  }
+
+  // Marks the calling thread as inside a read-side critical section.
+  void enter() noexcept {
+    auto& r = slot();
+    if (r.depth++ > 0) return;
+    // Announce the current epoch; seq_cst so that retirers scanning
+    // reservations cannot miss us (store-load ordering with try_advance).
+    r.epoch.store(global_epoch_.load(std::memory_order_seq_cst),
+                  std::memory_order_seq_cst);
+    r.active.store(true, std::memory_order_seq_cst);
+    // Re-announce in case the epoch advanced between load and store; one
+    // re-read closes the window because epochs only block on *active*
+    // threads with stale announcements.
+    r.epoch.store(global_epoch_.load(std::memory_order_seq_cst),
+                  std::memory_order_seq_cst);
+  }
+
+  void exit() noexcept {
+    auto& r = slot();
+    if (--r.depth > 0) return;
+    r.active.store(false, std::memory_order_release);
+  }
+
+  bool in_critical_section() noexcept { return slot().depth > 0; }
+
+  // Defers destruction of `p` until a grace period has elapsed.
+  void retire(void* p, void (*deleter)(void*)) {
+    auto& limbo = limbo_list();
+    limbo.push_back({p, deleter,
+                     global_epoch_.load(std::memory_order_acquire)});
+    if (limbo.size() >= kCollectThreshold) collect(limbo);
+  }
+
+  template <typename T>
+  void retire(T* p) {
+    retire(p, [](void* q) { delete static_cast<T*>(q); });
+  }
+
+  // Test/shutdown hook: advance epochs and free everything that becomes
+  // safe. Must be called outside any guard with no concurrent guards for a
+  // full drain.
+  void drain() {
+    auto& limbo = limbo_list();
+    for (int i = 0; i < 4 && !(limbo.empty() && orphans_empty()); ++i) {
+      try_advance();
+      collect(limbo);
+    }
+  }
+
+  std::uint64_t epoch() const noexcept {
+    return global_epoch_.load(std::memory_order_acquire);
+  }
+
+  // Number of entries waiting in this thread's limbo list (for tests).
+  std::size_t local_limbo_size() { return limbo_list().size(); }
+
+ private:
+  static constexpr std::size_t kCollectThreshold = 64;
+
+  EbrDomain() = default;
+
+  detail::Reservation& slot() noexcept {
+    return reservations_[util::this_thread_id()].value;
+  }
+
+  // Thread-local limbo list. On thread exit remaining entries are handed to
+  // the shared orphan list so another thread can reclaim them later.
+  struct LimboList : std::vector<detail::RetiredNode> {
+    ~LimboList() {
+      if (!empty()) {
+        auto& dom = EbrDomain::instance();
+        std::scoped_lock lk(dom.orphan_mutex_);
+        dom.orphans_.insert(dom.orphans_.end(), begin(), end());
+      }
+    }
+  };
+
+  std::vector<detail::RetiredNode>& limbo_list() {
+    thread_local LimboList limbo;
+    return limbo;
+  }
+
+  bool try_advance() noexcept {
+    const std::uint64_t g = global_epoch_.load(std::memory_order_seq_cst);
+    for (auto& res : reservations_) {
+      const auto& r = res.value;
+      if (r.active.load(std::memory_order_seq_cst) &&
+          r.epoch.load(std::memory_order_seq_cst) != g) {
+        return false;
+      }
+    }
+    std::uint64_t expected = g;
+    global_epoch_.compare_exchange_strong(expected, g + 1,
+                                          std::memory_order_seq_cst);
+    return true;
+  }
+
+  void collect(std::vector<detail::RetiredNode>& limbo) {
+    try_advance();
+    const std::uint64_t g = global_epoch_.load(std::memory_order_acquire);
+    free_safe(limbo, g);
+    // Opportunistically reclaim orphans from exited threads.
+    if (!orphans_empty()) {
+      std::scoped_lock lk(orphan_mutex_);
+      free_safe(orphans_, g);
+    }
+  }
+
+  static void free_safe(std::vector<detail::RetiredNode>& list,
+                        std::uint64_t global) {
+    std::size_t kept = 0;
+    for (auto& node : list) {
+      if (global >= node.epoch + 2) {
+        node.deleter(node.ptr);
+      } else {
+        list[kept++] = node;
+      }
+    }
+    list.resize(kept);
+  }
+
+  bool orphans_empty() {
+    std::scoped_lock lk(orphan_mutex_);
+    return orphans_.empty();
+  }
+
+  std::atomic<std::uint64_t> global_epoch_{0};
+  util::CacheAligned<detail::Reservation> reservations_[util::kMaxThreads];
+  std::mutex orphan_mutex_;
+  std::vector<detail::RetiredNode> orphans_;
+};
+
+// RAII read-side critical section.
+class Guard {
+ public:
+  Guard() noexcept { EbrDomain::instance().enter(); }
+  ~Guard() { EbrDomain::instance().exit(); }
+  Guard(const Guard&) = delete;
+  Guard& operator=(const Guard&) = delete;
+};
+
+template <typename T>
+void retire(T* p) {
+  EbrDomain::instance().retire(p);
+}
+
+}  // namespace hcf::mem

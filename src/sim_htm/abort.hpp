@@ -1,0 +1,50 @@
+// Abort codes and the abort-unwinding exception for the simulated HTM.
+//
+// Real RTM reports an abort cause in EAX; TLE-style code distinguishes
+// (a) conflict/transient aborts worth retrying, (b) capacity aborts that
+// will repeat deterministically, and (c) explicit aborts (lock was held).
+// The simulator reproduces exactly that taxonomy.
+#pragma once
+
+#include <cstdint>
+
+namespace hcf::htm {
+
+enum class AbortCode : std::uint8_t {
+  None = 0,
+  // Read/write-set conflict with a concurrent transaction or a strong
+  // (non-transactional) store; transient, worth retrying.
+  Conflict = 1,
+  // Read- or write-set exceeded the configured capacity; retrying the same
+  // operation transactionally is futile.
+  Capacity = 2,
+  // Transaction requested its own abort (xabort), e.g. lock subscription
+  // found the lock held.
+  Explicit = 3,
+  // Lock subscription failed at begin (lock already held). Distinguished
+  // from Explicit so engines can wait for the lock to become free before
+  // burning another attempt, like production TLE.
+  LockBusy = 4,
+};
+
+inline const char* to_string(AbortCode c) noexcept {
+  switch (c) {
+    case AbortCode::None: return "none";
+    case AbortCode::Conflict: return "conflict";
+    case AbortCode::Capacity: return "capacity";
+    case AbortCode::Explicit: return "explicit";
+    case AbortCode::LockBusy: return "lock-busy";
+  }
+  return "?";
+}
+
+inline constexpr int kNumAbortCodes = 5;
+
+// Thrown by the simulator to unwind out of a transaction body. User code
+// inside transactions must not catch(...) without rethrowing (same
+// restriction every STM with exception-based aborts imposes).
+struct TxAbort {
+  AbortCode code;
+};
+
+}  // namespace hcf::htm

@@ -1,0 +1,46 @@
+// Runtime-tunable parameters of the simulated HTM. Capacity limits model
+// the L1-bounded read/write sets of real RTM; tests shrink them to exercise
+// capacity-abort paths deterministically.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+
+namespace hcf::htm {
+
+// Number of ownership records. Power of two; 2^16 orecs * 8B = 512 KiB,
+// large enough that false conflicts are rare for our data-structure sizes.
+inline constexpr std::size_t kOrecCountLog2 = 16;
+inline constexpr std::size_t kOrecCount = std::size_t{1} << kOrecCountLog2;
+
+struct Config {
+  // Maximum tracked read locations per transaction (≈ L1 lines on RTM).
+  std::atomic<std::size_t> read_capacity{8192};
+  // Maximum buffered writes per transaction.
+  std::atomic<std::size_t> write_capacity{2048};
+};
+
+Config& config() noexcept;
+
+// RAII helper for tests: temporarily overrides capacities.
+class ScopedCapacity {
+ public:
+  ScopedCapacity(std::size_t reads, std::size_t writes) noexcept
+      : old_reads_(config().read_capacity.load()),
+        old_writes_(config().write_capacity.load()) {
+    config().read_capacity.store(reads);
+    config().write_capacity.store(writes);
+  }
+  ~ScopedCapacity() {
+    config().read_capacity.store(old_reads_);
+    config().write_capacity.store(old_writes_);
+  }
+  ScopedCapacity(const ScopedCapacity&) = delete;
+  ScopedCapacity& operator=(const ScopedCapacity&) = delete;
+
+ private:
+  std::size_t old_reads_;
+  std::size_t old_writes_;
+};
+
+}  // namespace hcf::htm

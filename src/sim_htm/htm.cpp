@@ -1,0 +1,258 @@
+#include "sim_htm/htm.hpp"
+
+#include <memory>
+
+#include "util/backoff.hpp"
+
+namespace hcf::htm {
+
+Config& config() noexcept {
+  static Config cfg;
+  return cfg;
+}
+
+Stats& stats() noexcept {
+  static Stats s;
+  return s;
+}
+
+namespace detail {
+
+std::atomic<std::uint64_t>* orec_table() noexcept {
+  // Zero-initialized static storage; even (version 0) means unlocked.
+  static auto* table = new std::atomic<std::uint64_t>[kOrecCount]{};
+  return table;
+}
+
+std::atomic<std::uint64_t>& global_epoch() noexcept {
+  static std::atomic<std::uint64_t> epoch{0};
+  return epoch;
+}
+
+std::atomic<std::uint64_t>& writeback_count() noexcept {
+  static std::atomic<std::uint64_t> count{0};
+  return count;
+}
+
+Txn& txn() noexcept {
+  thread_local Txn t;
+  return t;
+}
+
+void throw_abort(AbortCode code) { throw TxAbort{code}; }
+
+bool validate_read_set(Txn& t, std::uint64_t self_tag) noexcept {
+  for (const auto& r : t.read_set) {
+    const std::uint64_t cur = r.orec->load(std::memory_order_seq_cst);
+    if (cur == r.version) continue;
+    if (self_tag != 0 && cur == self_tag) {
+      // We hold this orec for commit; compare against its pre-lock version.
+      bool ok = false;
+      for (const auto& a : t.acquired) {
+        if (a.orec == r.orec) {
+          ok = (a.old_version == r.version);
+          break;
+        }
+      }
+      if (ok) continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+void extend_snapshot(Txn& t) {
+  const std::uint64_t e = global_epoch().load(std::memory_order_seq_cst);
+  if (!validate_read_set(t, /*self_tag=*/0)) {
+    throw_abort(AbortCode::Conflict);
+  }
+  t.snapshot_epoch = e;
+}
+
+void begin_txn(Txn& t) {
+  assert(!t.active);
+  t.active = true;
+  t.depth = 1;
+  t.tid = util::this_thread_id();
+  t.last_abort = AbortCode::None;
+  t.reset_logs();
+  t.snapshot_epoch = global_epoch().load(std::memory_order_seq_cst);
+  stats().starts.add();
+}
+
+void store_sized(std::uintptr_t addr, std::uint64_t value,
+                 std::uint8_t size) noexcept {
+  switch (size) {
+    case 1:
+      std::atomic_ref<std::uint8_t>(*reinterpret_cast<std::uint8_t*>(addr))
+          .store(static_cast<std::uint8_t>(value), std::memory_order_release);
+      break;
+    case 2:
+      std::atomic_ref<std::uint16_t>(*reinterpret_cast<std::uint16_t*>(addr))
+          .store(static_cast<std::uint16_t>(value),
+                 std::memory_order_release);
+      break;
+    case 4:
+      std::atomic_ref<std::uint32_t>(*reinterpret_cast<std::uint32_t*>(addr))
+          .store(static_cast<std::uint32_t>(value),
+                 std::memory_order_release);
+      break;
+    default:
+      std::atomic_ref<std::uint64_t>(*reinterpret_cast<std::uint64_t*>(addr))
+          .store(value, std::memory_order_release);
+      break;
+  }
+}
+
+namespace {
+
+void release_acquired(Txn& t, bool bump) noexcept {
+  for (auto it = t.acquired.rbegin(); it != t.acquired.rend(); ++it) {
+    it->orec->store(bump ? it->old_version + 2 : it->old_version,
+                    std::memory_order_seq_cst);
+  }
+  t.acquired.clear();
+}
+
+// Try to lock every orec covering the write set. Returns false (with all
+// partial acquisitions rolled back) on any conflict.
+bool acquire_write_orecs(Txn& t) noexcept {
+  const std::uint64_t my_tag = tx_lock_word(t.tid);
+  for (const auto& w : t.write_set) {
+    auto& orec = orec_for(reinterpret_cast<const void*>(w.addr));
+    // Skip orecs we already own (several writes can share one orec).
+    bool mine = false;
+    for (const auto& a : t.acquired) {
+      if (a.orec == &orec) {
+        mine = true;
+        break;
+      }
+    }
+    if (mine) continue;
+    std::uint64_t cur = orec.load(std::memory_order_seq_cst);
+    if (is_locked(cur) ||
+        !orec.compare_exchange_strong(cur, my_tag,
+                                      std::memory_order_seq_cst)) {
+      release_acquired(t, /*bump=*/false);
+      return false;
+    }
+    t.acquired.push_back({&orec, cur});
+  }
+  return true;
+}
+
+void flush_access_counters(Txn& t) noexcept {
+  if (t.n_reads != 0) stats().tx_reads.add(t.n_reads);
+  if (t.n_writes != 0) stats().tx_writes.add(t.n_writes);
+  t.n_reads = 0;
+  t.n_writes = 0;
+}
+
+void finish_commit_bookkeeping(Txn& t) noexcept {
+  // Allocations survive (ownership passed to the data structure); logical
+  // frees become EBR retirements so speculative readers stay safe.
+  t.alloc_log.clear();
+  for (const auto& r : t.retire_log) {
+    mem::EbrDomain::instance().retire(r.ptr, r.fn);
+  }
+  t.retire_log.clear();
+  t.active = false;
+  t.depth = 0;
+  flush_access_counters(t);
+  stats().commits.add();
+}
+
+}  // namespace
+
+void commit_txn(Txn& t) {
+  assert(t.active);
+  if (t.depth > 1) {  // flat-nested inner commit: nothing to do
+    --t.depth;
+    return;
+  }
+
+  if (t.write_set.empty()) {
+    // Read-only: the incremental epoch checks kept the snapshot consistent;
+    // one final validation is needed only if the epoch moved since.
+    if (global_epoch().load(std::memory_order_seq_cst) != t.snapshot_epoch &&
+        !validate_read_set(t, /*self_tag=*/0)) {
+      throw_abort(AbortCode::Conflict);
+    }
+    stats().read_only_commits.add();
+    finish_commit_bookkeeping(t);
+    return;
+  }
+
+  if (!acquire_write_orecs(t)) throw_abort(AbortCode::Conflict);
+
+  // Register as a write-back in progress *before* the final validation:
+  // elidable-lock acquirers first doom future validators (by bumping the
+  // lock word's orec) and then wait for this counter to drain, which
+  // together guarantee no write-back overlaps under-lock execution.
+  writeback_count().fetch_add(1, std::memory_order_seq_cst);
+
+  if (!validate_read_set(t, tx_lock_word(t.tid))) {
+    writeback_count().fetch_sub(1, std::memory_order_seq_cst);
+    release_acquired(t, /*bump=*/false);
+    throw_abort(AbortCode::Conflict);
+  }
+
+  for (const auto& w : t.write_set) store_sized(w.addr, w.value, w.size);
+
+  // Epoch must move *before* the orecs are released: a reader that loads a
+  // freshly written value (possible only after release) is then guaranteed
+  // to observe the epoch change and revalidate its read set — otherwise a
+  // zombie could pair the new value with stale earlier reads (opacity
+  // violation, caught by HtmOpacity.InvariantNeverObservedBroken).
+  global_epoch().fetch_add(1, std::memory_order_seq_cst);
+  release_acquired(t, /*bump=*/true);
+  writeback_count().fetch_sub(1, std::memory_order_seq_cst);
+
+  finish_commit_bookkeeping(t);
+}
+
+void abort_cleanup(Txn& t, AbortCode code) noexcept {
+  assert(t.active);
+  // Nothing was written back (lazy versioning), so "undo" is just
+  // releasing speculative allocations.
+  for (auto it = t.alloc_log.rbegin(); it != t.alloc_log.rend(); ++it) {
+    it->fn(it->ptr);
+  }
+  t.reset_logs();
+  t.active = false;
+  t.depth = 0;
+  detail::flush_access_counters(t);
+  t.last_abort = code;
+  const auto idx = static_cast<std::size_t>(code);
+  stats().aborts[idx < kNumAbortCodes ? idx : 0].add();
+}
+
+std::uint64_t strong_lock_orec(std::atomic<std::uint64_t>& orec) noexcept {
+  for (;;) {
+    std::uint64_t cur = orec.load(std::memory_order_seq_cst);
+    if (!is_locked(cur) &&
+        orec.compare_exchange_weak(cur, kStrongTag,
+                                   std::memory_order_seq_cst)) {
+      return cur;
+    }
+    util::cpu_relax();
+  }
+}
+
+void strong_unlock_orec(std::atomic<std::uint64_t>& orec, std::uint64_t ver,
+                        bool bump) noexcept {
+  // Same ordering requirement as commit write-back: epoch before release,
+  // so any transaction that can observe the new value must revalidate.
+  if (bump) global_epoch().fetch_add(1, std::memory_order_seq_cst);
+  orec.store(bump ? ver + 2 : ver, std::memory_order_seq_cst);
+}
+
+}  // namespace detail
+
+void wait_writeback_drain() noexcept {
+  while (detail::writeback_count().load(std::memory_order_seq_cst) != 0) {
+    util::cpu_relax();
+  }
+}
+
+}  // namespace hcf::htm

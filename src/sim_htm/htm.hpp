@@ -1,0 +1,387 @@
+// Software-simulated hardware transactional memory.
+//
+// Observable semantics mirror Intel RTM as used by transactional lock
+// elision: optimistic transactions with all-or-nothing visibility, conflict
+// aborts, capacity aborts, explicit aborts, and strong isolation against
+// non-transactional accesses to the words transactions subscribe to.
+//
+// Implementation: a lazy-versioning (write-buffer) STM over a global
+// ownership-record (orec) table.
+//
+//   * tx reads validate the orec version around the value load and record
+//     it in a read set; a global epoch counter triggers full read-set
+//     revalidation, giving opacity (no zombie execution) in the style of
+//     LSA/TL2 timestamp extension.
+//   * tx writes are buffered; memory is only touched during commit
+//     write-back, after the write orecs are acquired and the read set
+//     validated. Non-instrumented code (a thread holding the elided lock)
+//     therefore never observes speculative state.
+//   * non-transactional ("strong") stores to words transactions read — lock
+//     words, operation statuses, publication slots — go through the same
+//     orec protocol via TxCell (txcell.hpp), so they doom overlapping
+//     transactions exactly like a cache-line invalidation would on real HTM.
+//   * lock acquirers call wait_writeback_drain() after dooming subscribers,
+//     closing the race with transactions already past validation (see
+//     DESIGN.md, "quiescence gate").
+//
+// Usage restrictions (all enforced or documented at call sites):
+//   * values accessed via read/write are trivially copyable, ≤ 8 bytes,
+//     naturally aligned;
+//   * code inside a transaction must not catch(...) without rethrowing;
+//   * strong operations must not be called inside a transaction;
+//   * every transaction that runs concurrently with under-lock execution
+//     must subscribe to that lock (engines do this on their first read).
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "mem/ebr.hpp"
+#include "sim_htm/abort.hpp"
+#include "sim_htm/config.hpp"
+#include "sim_htm/stats.hpp"
+#include "util/rng.hpp"
+#include "util/thread_id.hpp"
+
+namespace hcf::htm {
+
+namespace detail {
+
+// ---- Orec table ----------------------------------------------------------
+// Word layout: even value => version of the last committed write;
+// odd value => locked, either by a committing transaction (tid << 1 | 1) or
+// by a strong store (kStrongTag).
+inline constexpr std::uint64_t kStrongTag = ~std::uint64_t{0};  // odd
+
+std::atomic<std::uint64_t>* orec_table() noexcept;
+
+inline std::atomic<std::uint64_t>& orec_for(const void* addr) noexcept {
+  // Fibonacci hashing: one multiply, top bits select the orec. Cheap and
+  // spreads word-granularity addresses well.
+  const auto a = reinterpret_cast<std::uintptr_t>(addr) >> 3;
+  const std::uint64_t h = a * 0x9e3779b97f4a7c15ULL;
+  return orec_table()[h >> (64 - kOrecCountLog2)];
+}
+
+inline bool is_locked(std::uint64_t word) noexcept { return word & 1; }
+
+inline std::uint64_t tx_lock_word(std::size_t tid) noexcept {
+  return (static_cast<std::uint64_t>(tid) << 1) | 1;
+}
+
+// ---- Global clocks -------------------------------------------------------
+std::atomic<std::uint64_t>& global_epoch() noexcept;
+std::atomic<std::uint64_t>& writeback_count() noexcept;
+
+// ---- Transaction descriptor ----------------------------------------------
+struct ReadEntry {
+  std::atomic<std::uint64_t>* orec;
+  std::uint64_t version;
+};
+
+struct WriteEntry {
+  std::uintptr_t addr;
+  std::uint64_t value;
+  std::uint8_t size;
+};
+
+struct AcquiredOrec {
+  std::atomic<std::uint64_t>* orec;
+  std::uint64_t old_version;
+};
+
+struct CleanupEntry {
+  void* ptr;
+  void (*fn)(void*);
+};
+
+struct Txn {
+  bool active = false;
+  std::uint32_t depth = 0;
+  std::size_t tid = 0;
+  std::uint64_t snapshot_epoch = 0;
+  AbortCode last_abort = AbortCode::None;
+  // Access counters, flushed to the global stats at commit/abort so the
+  // hot path pays one local increment instead of a TLS counter lookup.
+  std::uint64_t n_reads = 0;
+  std::uint64_t n_writes = 0;
+  std::vector<ReadEntry> read_set;
+  std::vector<WriteEntry> write_set;
+  std::vector<AcquiredOrec> acquired;
+  std::vector<CleanupEntry> alloc_log;   // freed on abort
+  std::vector<CleanupEntry> retire_log;  // EBR-retired on commit
+
+  void reset_logs() {
+    read_set.clear();
+    write_set.clear();
+    acquired.clear();
+    alloc_log.clear();
+    retire_log.clear();
+  }
+};
+
+Txn& txn() noexcept;
+
+[[noreturn]] void throw_abort(AbortCode code);
+
+// Validates the whole read set; returns false on mismatch. `self_tag` is
+// the caller's commit lock word if the caller holds orecs (0 otherwise).
+bool validate_read_set(Txn& t, std::uint64_t self_tag) noexcept;
+
+// Revalidates after a global-epoch change observed mid-transaction;
+// aborts (throws) on failure. Keeps opacity.
+void extend_snapshot(Txn& t);
+
+void begin_txn(Txn& t);
+void commit_txn(Txn& t);                // throws TxAbort on validation failure
+void abort_cleanup(Txn& t, AbortCode code) noexcept;
+
+// Raw value transport. Sized so that write-back can replay buffered writes.
+template <typename T>
+inline std::uint64_t to_word(T v) noexcept {
+  std::uint64_t w = 0;
+  std::memcpy(&w, &v, sizeof(T));
+  return w;
+}
+
+template <typename T>
+inline T from_word(std::uint64_t w) noexcept {
+  T v;
+  std::memcpy(&v, &w, sizeof(T));
+  return v;
+}
+
+template <typename T>
+inline T atomic_load_acquire(const T* addr) noexcept {
+  return std::atomic_ref<T>(*const_cast<T*>(addr))
+      .load(std::memory_order_acquire);
+}
+
+template <typename T>
+inline void atomic_store_release(T* addr, T v) noexcept {
+  std::atomic_ref<T>(*addr).store(v, std::memory_order_release);
+}
+
+void store_sized(std::uintptr_t addr, std::uint64_t value,
+                 std::uint8_t size) noexcept;
+
+template <typename T>
+concept TxValue = std::is_trivially_copyable_v<T> && sizeof(T) <= 8 &&
+                  (sizeof(T) == 1 || sizeof(T) == 2 || sizeof(T) == 4 ||
+                   sizeof(T) == 8);
+
+// Looks up `addr` in the write buffer; returns pointer to entry or null.
+inline WriteEntry* find_write(Txn& t, std::uintptr_t addr) noexcept {
+  for (auto it = t.write_set.rbegin(); it != t.write_set.rend(); ++it) {
+    if (it->addr == addr) return &*it;
+  }
+  return nullptr;
+}
+
+}  // namespace detail
+
+// ---- Public API -----------------------------------------------------------
+
+inline bool in_txn() noexcept { return detail::txn().active; }
+
+// Requests an abort of the running transaction (like xabort).
+[[noreturn]] inline void abort_tx(AbortCode code = AbortCode::Explicit) {
+  assert(in_txn());
+  detail::throw_abort(code);
+}
+
+// Last abort code observed by this thread's most recent failed attempt.
+inline AbortCode last_abort_code() noexcept { return detail::txn().last_abort; }
+
+// Transactional load. Outside a transaction: plain atomic load (the
+// under-lock / sequential fast path).
+template <detail::TxValue T>
+inline T read(const T* addr) {
+  auto& t = detail::txn();
+  if (!t.active) return detail::atomic_load_acquire(addr);
+  ++t.n_reads;
+
+  const auto a = reinterpret_cast<std::uintptr_t>(addr);
+  if (auto* w = detail::find_write(t, a)) {
+    assert(w->size == sizeof(T) && "mixed-size access to the same address");
+    return detail::from_word<T>(w->value);
+  }
+
+  auto& orec = detail::orec_for(addr);
+  const std::uint64_t v1 = orec.load(std::memory_order_seq_cst);
+  if (detail::is_locked(v1)) detail::throw_abort(AbortCode::Conflict);
+  const T value = detail::atomic_load_acquire(addr);
+  const std::uint64_t v2 = orec.load(std::memory_order_seq_cst);
+  if (v1 != v2) detail::throw_abort(AbortCode::Conflict);
+
+  // Cheap dedup against the most recent entries keeps read sets compact in
+  // pointer-chasing loops without an O(n) scan.
+  bool dup = false;
+  const std::size_t n = t.read_set.size();
+  for (std::size_t i = n > 4 ? n - 4 : 0; i < n; ++i) {
+    if (t.read_set[i].orec == &orec && t.read_set[i].version == v1) {
+      dup = true;
+      break;
+    }
+  }
+  if (!dup) {
+    if (t.read_set.size() >= config().read_capacity.load(
+                                 std::memory_order_relaxed)) {
+      detail::throw_abort(AbortCode::Capacity);
+    }
+    t.read_set.push_back({&orec, v1});
+  }
+
+  // Opacity: if anyone committed since our snapshot, make sure everything
+  // we have read is still mutually consistent.
+  const std::uint64_t e =
+      detail::global_epoch().load(std::memory_order_seq_cst);
+  if (e != t.snapshot_epoch) detail::extend_snapshot(t);
+  return value;
+}
+
+// Transactional store (buffered until commit). Outside a transaction:
+// plain atomic store.
+template <detail::TxValue T>
+inline void write(T* addr, T value) {
+  auto& t = detail::txn();
+  if (!t.active) {
+    detail::atomic_store_release(addr, value);
+    return;
+  }
+  ++t.n_writes;
+  const auto a = reinterpret_cast<std::uintptr_t>(addr);
+  if (auto* w = detail::find_write(t, a)) {
+    assert(w->size == sizeof(T) && "mixed-size access to the same address");
+    w->value = detail::to_word(value);
+    return;
+  }
+  if (t.write_set.size() >=
+      config().write_capacity.load(std::memory_order_relaxed)) {
+    detail::throw_abort(AbortCode::Capacity);
+  }
+  t.write_set.push_back({a, detail::to_word(value),
+                         static_cast<std::uint8_t>(sizeof(T))});
+}
+
+// Runs `body` as one transaction attempt. Returns true if it committed.
+// Inside an enclosing transaction the body is flat-nested (subsumed).
+template <typename F>
+inline bool attempt(F&& body) {
+  auto& t = detail::txn();
+  if (t.active) {  // flat nesting
+    std::forward<F>(body)();
+    return true;
+  }
+  detail::begin_txn(t);
+  try {
+    std::forward<F>(body)();
+    detail::commit_txn(t);
+    return true;
+  } catch (TxAbort& a) {
+    detail::abort_cleanup(t, a.code);
+    return false;
+  } catch (...) {
+    // An exception escaping the body aborts the transaction (discarding
+    // speculative state), then propagates — matching RTM, where an
+    // exception inside an elided section aborts to the fallback.
+    detail::abort_cleanup(t, AbortCode::Explicit);
+    throw;
+  }
+}
+
+// Allocation helpers. Memory allocated inside a transaction must be
+// released if the transaction aborts; memory logically freed inside a
+// transaction must survive until commit *and* until concurrent speculative
+// readers are done (EBR grace period).
+template <typename T, typename... Args>
+T* make(Args&&... args) {
+  T* p = new T(std::forward<Args>(args)...);
+  auto& t = detail::txn();
+  if (t.active) {
+    t.alloc_log.push_back({p, [](void* q) { delete static_cast<T*>(q); }});
+  }
+  return p;
+}
+
+template <typename T>
+void retire(T* p) {
+  auto& t = detail::txn();
+  if (t.active) {
+    t.retire_log.push_back({p, [](void* q) { delete static_cast<T*>(q); }});
+  } else {
+    mem::retire(p);
+  }
+}
+
+// ---- Strong (non-transactional) operations --------------------------------
+// For words that transactions subscribe to. Serialized through the word's
+// orec so they are atomic with respect to commit write-back, and they bump
+// the orec version + global epoch so overlapping transactions abort.
+
+namespace detail {
+// Spins until the orec is unlocked and returns the (even) version word
+// after locking it with kStrongTag.
+std::uint64_t strong_lock_orec(std::atomic<std::uint64_t>& orec) noexcept;
+void strong_unlock_orec(std::atomic<std::uint64_t>& orec, std::uint64_t ver,
+                        bool bump) noexcept;
+}  // namespace detail
+
+template <detail::TxValue T>
+inline T strong_load(const T* addr) noexcept {
+  return detail::atomic_load_acquire(addr);
+}
+
+template <detail::TxValue T>
+inline void strong_store(T* addr, T value) noexcept {
+  assert(!in_txn() && "strong operations are not allowed inside a txn");
+  auto& orec = detail::orec_for(addr);
+  const std::uint64_t ver = detail::strong_lock_orec(orec);
+  detail::atomic_store_release(addr, value);
+  detail::strong_unlock_orec(orec, ver, /*bump=*/true);
+  stats().strong_stores.add();
+}
+
+template <detail::TxValue T>
+inline bool strong_cas(T* addr, T expected, T desired) noexcept {
+  assert(!in_txn() && "strong operations are not allowed inside a txn");
+  auto& orec = detail::orec_for(addr);
+  const std::uint64_t ver = detail::strong_lock_orec(orec);
+  const T cur = detail::atomic_load_acquire(addr);
+  if (cur != expected) {
+    detail::strong_unlock_orec(orec, ver, /*bump=*/false);
+    return false;
+  }
+  detail::atomic_store_release(addr, desired);
+  detail::strong_unlock_orec(orec, ver, /*bump=*/true);
+  stats().strong_stores.add();
+  return true;
+}
+
+template <detail::TxValue T>
+inline T strong_fetch_add(T* addr, T delta) noexcept {
+  assert(!in_txn() && "strong operations are not allowed inside a txn");
+  auto& orec = detail::orec_for(addr);
+  const std::uint64_t ver = detail::strong_lock_orec(orec);
+  const T cur = detail::atomic_load_acquire(addr);
+  detail::atomic_store_release(addr, static_cast<T>(cur + delta));
+  detail::strong_unlock_orec(orec, ver, /*bump=*/true);
+  stats().strong_stores.add();
+  return cur;
+}
+
+// Blocks until no transaction is inside commit write-back. Called by
+// elidable-lock acquirers after the lock word is set: every transaction
+// validating after that point sees the bumped lock orec and aborts, and
+// this wait flushes the ones that had already validated.
+void wait_writeback_drain() noexcept;
+
+// Test hook: number of live (active) transactions on this thread (0/1).
+inline std::uint32_t nesting_depth() noexcept { return detail::txn().depth; }
+
+}  // namespace hcf::htm

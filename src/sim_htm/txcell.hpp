@@ -1,0 +1,98 @@
+// TxCell<T>: a shared word accessed both transactionally (subscription
+// reads, transactional removal of publication slots) and non-transactionally
+// (lock acquisition, status transitions). All mutations funnel through the
+// strong orec protocol so they doom overlapping transactions — the
+// simulator's equivalent of a cache-line invalidation under real HTM.
+//
+// TxField<T>: a data-structure field with transparent instrumentation.
+// Reads/writes go through htm::read / htm::write, which fall through to
+// plain atomic accesses outside transactions — so the *same* sequential
+// code runs speculatively, under the lock, and single-threaded.
+#pragma once
+
+#include <type_traits>
+
+#include "sim_htm/htm.hpp"
+
+namespace hcf::htm {
+
+template <detail::TxValue T>
+class TxCell {
+ public:
+  constexpr TxCell() noexcept : value_{} {}
+  explicit constexpr TxCell(T v) noexcept : value_(v) {}
+
+  TxCell(const TxCell&) = delete;
+  TxCell& operator=(const TxCell&) = delete;
+
+  // Transactional read: joins the read set (i.e. subscribes) inside a
+  // transaction; plain acquire load outside.
+  T read() const { return htm::read(&value_); }
+
+  // Non-transactional accesses.
+  T load() const noexcept { return strong_load(&value_); }
+  void store(T v) noexcept { strong_store(&value_, v); }
+  bool cas(T expected, T desired) noexcept {
+    return strong_cas(&value_, expected, desired);
+  }
+  T fetch_add(T delta) noexcept { return strong_fetch_add(&value_, delta); }
+
+  // Plain release store, *without* dooming subscribed transactions. Only
+  // valid for transitions no live transaction's correctness depends on
+  // (e.g. Announce before the owner's first transaction, Done after the
+  // helped operation's owner can no longer be speculating on it).
+  void store_plain(T v) noexcept { detail::atomic_store_release(&value_, v); }
+
+  // Transactional (buffered) write — used when a cell must change atomically
+  // with the rest of a transaction (e.g. publication-slot removal).
+  void tx_write(T v) { htm::write(&value_, v); }
+
+  // Direct initialization before the cell is shared. Not thread-safe.
+  void init(T v) noexcept { value_ = v; }
+
+ private:
+  T value_;
+};
+
+template <detail::TxValue T>
+class TxField {
+ public:
+  constexpr TxField() noexcept : value_{} {}
+  constexpr TxField(T v) noexcept : value_(v) {}  // NOLINT: implicit by design
+
+  // Copying a field copies the (instrumented) value.
+  TxField(const TxField& other) : value_{} { *this = other.get(); }
+  TxField& operator=(const TxField& other) {
+    *this = other.get();
+    return *this;
+  }
+
+  operator T() const { return htm::read(&value_); }  // NOLINT
+  T get() const { return htm::read(&value_); }
+
+  TxField& operator=(T v) {
+    htm::write(&value_, v);
+    return *this;
+  }
+
+  // Pre-publication initialization of freshly allocated nodes: bypasses the
+  // write buffer (the node is still private), keeping write sets small.
+  void init(T v) noexcept { value_ = v; }
+
+  // Plain (uninstrumented) atomic load, for advisory reads outside any
+  // transaction — e.g. look-aside hints consulted by should_help. The value
+  // may be stale relative to in-flight transactions.
+  T load_plain() const noexcept { return detail::atomic_load_acquire(&value_); }
+
+  // Pointer-like sugar for TxField<U*>.
+  T operator->() const
+    requires std::is_pointer_v<T>
+  {
+    return get();
+  }
+
+ private:
+  T value_;
+};
+
+}  // namespace hcf::htm

@@ -1,0 +1,41 @@
+// Plain test-and-test-and-set spinlock with exponential backoff.
+// Used where elision is *not* wanted: the SCM auxiliary lock (Afek et al.)
+// and internal bookkeeping. Not subscribable by transactions.
+#pragma once
+
+#include <atomic>
+
+#include "util/backoff.hpp"
+#include "util/cacheline.hpp"
+
+namespace hcf::sync {
+
+class SpinLock {
+ public:
+  SpinLock() = default;
+  SpinLock(const SpinLock&) = delete;
+  SpinLock& operator=(const SpinLock&) = delete;
+
+  void lock() noexcept {
+    util::SpinWait waiter;
+    while (!try_lock()) {
+      while (locked_.load(std::memory_order_relaxed)) waiter.wait();
+    }
+  }
+
+  bool try_lock() noexcept {
+    return !locked_.load(std::memory_order_relaxed) &&
+           !locked_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() noexcept { locked_.store(false, std::memory_order_release); }
+
+  bool is_locked() const noexcept {
+    return locked_.load(std::memory_order_acquire);
+  }
+
+ private:
+  alignas(util::kCacheLineSize) std::atomic<bool> locked_{false};
+};
+
+}  // namespace hcf::sync

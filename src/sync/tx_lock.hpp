@@ -1,0 +1,174 @@
+// Elidable locks: locks whose state transactions can subscribe to, in the
+// TLE sense. Two variants:
+//
+//   * TxLock      — test-and-test-and-set; minimal latency, unfair.
+//   * FairTxLock  — ticket-based; starvation-free, required by the paper's
+//                   progress argument (§2.3) for HCF starvation freedom.
+//
+// Both route state changes through TxCell strong operations (dooming
+// overlapping transactions) and wait for commit write-back quiescence after
+// acquisition, so a lock holder never observes — or races with — partial
+// transactional state. See DESIGN.md "quiescence gate".
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "sim_htm/txcell.hpp"
+#include "util/backoff.hpp"
+#include "util/cacheline.hpp"
+#include "util/counters.hpp"
+#include "util/thread_id.hpp"
+
+namespace hcf::sync {
+
+template <typename L>
+concept ElidableLock = requires(L l, const L cl) {
+  l.lock();
+  l.unlock();
+  { l.try_lock() } -> std::same_as<bool>;
+  { cl.is_locked() } -> std::same_as<bool>;
+  cl.subscribe();
+  cl.wait_until_free();
+};
+
+class TxLock {
+ public:
+  TxLock() = default;
+  TxLock(const TxLock&) = delete;
+  TxLock& operator=(const TxLock&) = delete;
+
+  void lock() noexcept {
+    util::ExpBackoff backoff(0x51ed2701 + util::this_thread_id());
+    while (!try_lock()) {
+      wait_until_free();  // spin-then-yield; survives oversubscription
+      backoff.pause();    // jitter so waiters don't re-CAS in lockstep
+    }
+  }
+
+  bool try_lock() noexcept {
+    if (word_.load() != 0) return false;
+    if (!word_.cas(0, owner_word())) return false;
+    acquisitions_.add();
+    // Doomed subscribers are now guaranteed to fail validation; flush the
+    // transactions that validated before our CAS.
+    htm::wait_writeback_drain();
+    return true;
+  }
+
+  void unlock() noexcept { word_.store(0); }
+
+  // Non-transactional probe.
+  bool is_locked() const noexcept { return word_.load() != 0; }
+
+  // Inside a transaction: joins the lock word to the read set and aborts
+  // immediately if the lock is held (the paper's `if (L.isLocked()) abortHT`).
+  void subscribe() const {
+    if (word_.read() != 0) htm::abort_tx(htm::AbortCode::LockBusy);
+  }
+
+  // Standard TLE discipline: do not start (or restart) a transaction while
+  // the lock is held — it would abort immediately anyway.
+  void wait_until_free() const noexcept {
+    util::SpinWait waiter;
+    while (word_.load() != 0) waiter.wait();
+  }
+
+  // Total successful acquisitions (the paper's "lock acquisition" metric).
+  std::uint64_t acquisition_count() const noexcept {
+    return acquisitions_.total();
+  }
+  void reset_stats() noexcept { acquisitions_.reset(); }
+
+ private:
+  static std::uint64_t owner_word() noexcept {
+    return static_cast<std::uint64_t>(util::this_thread_id()) + 1;
+  }
+
+  htm::TxCell<std::uint64_t> word_{0};
+  util::Counter acquisitions_;
+};
+
+class FairTxLock {
+ public:
+  FairTxLock() = default;
+  FairTxLock(const FairTxLock&) = delete;
+  FairTxLock& operator=(const FairTxLock&) = delete;
+
+  void lock() noexcept {
+    const std::uint64_t ticket =
+        next_.fetch_add(1, std::memory_order_acq_rel);
+    util::SpinWait waiter;
+    while (serving_.load(std::memory_order_acquire) != ticket) {
+      waiter.wait();
+    }
+    held_.store(1);
+    acquisitions_.add();
+    htm::wait_writeback_drain();
+  }
+
+  bool try_lock() noexcept {
+    std::uint64_t ticket = serving_.load(std::memory_order_acquire);
+    if (next_.load(std::memory_order_acquire) != ticket) return false;
+    if (!next_.compare_exchange_strong(ticket, ticket + 1,
+                                       std::memory_order_acq_rel)) {
+      return false;
+    }
+    held_.store(1);
+    acquisitions_.add();
+    htm::wait_writeback_drain();
+    return true;
+  }
+
+  void unlock() noexcept {
+    held_.store(0);
+    serving_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+  bool is_locked() const noexcept { return held_.load() != 0; }
+
+  void subscribe() const {
+    if (held_.read() != 0) htm::abort_tx(htm::AbortCode::LockBusy);
+  }
+
+  void wait_until_free() const noexcept {
+    util::SpinWait waiter;
+    while (held_.load() != 0) waiter.wait();
+  }
+
+  std::uint64_t acquisition_count() const noexcept {
+    return acquisitions_.total();
+  }
+  void reset_stats() noexcept { acquisitions_.reset(); }
+
+  // Tickets issued but not yet served (holder included). Observability
+  // hook for tests and adaptive policies.
+  std::uint64_t pending() const noexcept {
+    return next_.load(std::memory_order_acquire) -
+           serving_.load(std::memory_order_acquire);
+  }
+
+ private:
+  alignas(util::kCacheLineSize) std::atomic<std::uint64_t> next_{0};
+  alignas(util::kCacheLineSize) std::atomic<std::uint64_t> serving_{0};
+  htm::TxCell<std::uint64_t> held_{0};
+  util::Counter acquisitions_;
+};
+
+static_assert(ElidableLock<TxLock>);
+static_assert(ElidableLock<FairTxLock>);
+
+// RAII guard compatible with both.
+template <ElidableLock L>
+class LockGuard {
+ public:
+  explicit LockGuard(L& lock) noexcept : lock_(lock) { lock_.lock(); }
+  ~LockGuard() { lock_.unlock(); }
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  L& lock_;
+};
+
+}  // namespace hcf::sync

@@ -1,0 +1,37 @@
+// Best-effort CPU pinning, mirroring the paper's placement policy (thread i
+// and i + cores_per_socket share a core). On machines with fewer CPUs than
+// benchmark threads (such as CI containers) pinning wraps around; failures
+// are ignored — placement is a performance hint, never a correctness issue.
+#pragma once
+
+#include <cstddef>
+#include <thread>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace hcf::util {
+
+inline unsigned hardware_threads() noexcept {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+// Pins the calling thread to a CPU derived from `logical_index` using the
+// paper's fill-one-socket-first policy. Returns true on success.
+inline bool pin_to_cpu(std::size_t logical_index) noexcept {
+#if defined(__linux__)
+  const unsigned ncpu = hardware_threads();
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<int>(logical_index % ncpu), &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)logical_index;
+  return false;
+#endif
+}
+
+}  // namespace hcf::util

@@ -1,0 +1,78 @@
+// Randomized exponential backoff used between failed HTM attempts and in
+// spinlock acquisition loops. Mirrors the standard TLE retry discipline:
+// short pauses that grow exponentially with a random jitter, capped.
+#pragma once
+
+#include <cstdint>
+#include <thread>
+
+#include "util/rng.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace hcf::util {
+
+// Single CPU relax hint.
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#else
+  asm volatile("" ::: "memory");
+#endif
+}
+
+// Spin for roughly `iters` relax hints.
+inline void spin_for(std::uint64_t iters) noexcept {
+  for (std::uint64_t i = 0; i < iters; ++i) cpu_relax();
+}
+
+// Spin-then-yield waiter for potentially long waits (ticket queues,
+// waiting on a combiner). Spins briefly for the uncontended case, then
+// yields the CPU so oversubscribed configurations make progress instead of
+// burning whole scheduling quanta.
+class SpinWait {
+ public:
+  void wait() noexcept {
+    if (spins_ < kSpinLimit) {
+      ++spins_;
+      cpu_relax();
+    } else {
+      yield_now();
+    }
+  }
+
+  void reset() noexcept { spins_ = 0; }
+
+ private:
+  static void yield_now() noexcept { std::this_thread::yield(); }
+  static constexpr std::uint32_t kSpinLimit = 128;
+  std::uint32_t spins_ = 0;
+};
+
+class ExpBackoff {
+ public:
+  explicit ExpBackoff(std::uint64_t seed = 0x9e3779b97f4a7c15ULL,
+                      std::uint64_t min_spins = 4,
+                      std::uint64_t max_spins = 1024) noexcept
+      : rng_(seed), min_(min_spins), max_(max_spins), current_(min_spins) {}
+
+  // Pause for a random duration in [0, current), then double the window.
+  void pause() noexcept {
+    spin_for(rng_.next_bounded(current_ + 1));
+    if (current_ < max_) current_ *= 2;
+  }
+
+  void reset() noexcept { current_ = min_; }
+
+  std::uint64_t window() const noexcept { return current_; }
+
+ private:
+  Xoshiro256 rng_;
+  std::uint64_t min_;
+  std::uint64_t max_;
+  std::uint64_t current_;
+};
+
+}  // namespace hcf::util

@@ -1,0 +1,41 @@
+// Sense-reversing centralized barrier for benchmark thread coordination.
+// std::barrier exists, but this variant spins (no futex syscalls), which is
+// what we want when measuring microsecond-scale phases.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+
+#include "util/backoff.hpp"
+#include "util/cacheline.hpp"
+
+namespace hcf::util {
+
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(std::size_t parties) noexcept
+      : parties_(parties), remaining_(parties), sense_(false) {}
+
+  SpinBarrier(const SpinBarrier&) = delete;
+  SpinBarrier& operator=(const SpinBarrier&) = delete;
+
+  // Blocks until all parties arrive. Safe for repeated use.
+  void arrive_and_wait() noexcept {
+    const bool my_sense = !sense_.load(std::memory_order_relaxed);
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      remaining_.store(parties_, std::memory_order_relaxed);
+      sense_.store(my_sense, std::memory_order_release);
+    } else {
+      while (sense_.load(std::memory_order_acquire) != my_sense) cpu_relax();
+    }
+  }
+
+  std::size_t parties() const noexcept { return parties_; }
+
+ private:
+  std::size_t parties_;
+  alignas(kCacheLineSize) std::atomic<std::size_t> remaining_;
+  alignas(kCacheLineSize) std::atomic<bool> sense_;
+};
+
+}  // namespace hcf::util

@@ -1,0 +1,34 @@
+// Cache-line alignment helpers used across the library to avoid false
+// sharing between per-thread slots and hot shared words.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <utility>
+
+namespace hcf::util {
+
+// std::hardware_destructive_interference_size is 64 on the x86 targets we
+// support; pin it so layouts are stable across toolchains.
+inline constexpr std::size_t kCacheLineSize = 64;
+
+// Wraps a value so that it occupies (at least) one full cache line.
+// Use for per-thread slots laid out in arrays.
+template <typename T>
+struct alignas(kCacheLineSize) CacheAligned {
+  T value{};
+
+  CacheAligned() = default;
+  template <typename... Args>
+  explicit CacheAligned(Args&&... args) : value(std::forward<Args>(args)...) {}
+
+  T& operator*() noexcept { return value; }
+  const T& operator*() const noexcept { return value; }
+  T* operator->() noexcept { return &value; }
+  const T* operator->() const noexcept { return &value; }
+};
+
+static_assert(alignof(CacheAligned<int>) == kCacheLineSize);
+static_assert(sizeof(CacheAligned<int>) == kCacheLineSize);
+
+}  // namespace hcf::util

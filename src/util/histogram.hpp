@@ -1,0 +1,99 @@
+// Log-bucketed latency histogram: lock-free recording into per-thread
+// shards, percentile queries at report time. Used by the driver to report
+// operation-latency percentiles next to throughput — combining trades a
+// little mean latency for a lot of tail behaviour, which percentiles make
+// visible.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+#include "util/cacheline.hpp"
+#include "util/thread_id.hpp"
+
+namespace hcf::util {
+
+// Buckets cover [0, 2^kBuckets) nanoseconds-ish units with one bucket per
+// power of two plus kSubBuckets linear sub-buckets each — ~3% resolution.
+class LatencyHistogram {
+ public:
+  static constexpr int kLogBuckets = 36;
+  static constexpr int kSubBuckets = 16;
+  static constexpr int kTotalBuckets = kLogBuckets * kSubBuckets;
+
+  void record(std::uint64_t value) noexcept {
+    auto& shard = shards_[this_thread_id()].value;
+    const int idx = bucket_index(value);
+    auto& cell = shard.counts[static_cast<std::size_t>(idx)];
+    cell.store(cell.load(std::memory_order_relaxed) + 1,
+               std::memory_order_relaxed);
+  }
+
+  std::uint64_t total() const noexcept {
+    std::uint64_t sum = 0;
+    for (const auto& shard : shards_) {
+      for (const auto& c : shard.value.counts) {
+        sum += c.load(std::memory_order_relaxed);
+      }
+    }
+    return sum;
+  }
+
+  // Returns an upper bound of the bucket containing quantile q (0..1].
+  std::uint64_t percentile(double q) const noexcept {
+    const std::uint64_t n = total();
+    if (n == 0) return 0;
+    auto target = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(n)));
+    if (target == 0) target = 1;
+    if (target > n) target = n;
+    std::uint64_t seen = 0;
+    for (int idx = 0; idx < kTotalBuckets; ++idx) {
+      std::uint64_t bucket_sum = 0;
+      for (const auto& shard : shards_) {
+        bucket_sum += shard.value.counts[static_cast<std::size_t>(idx)].load(
+            std::memory_order_relaxed);
+      }
+      seen += bucket_sum;
+      if (seen >= target) return bucket_upper_bound(idx);
+    }
+    return bucket_upper_bound(kTotalBuckets - 1);
+  }
+
+  void reset() noexcept {
+    for (auto& shard : shards_) {
+      for (auto& c : shard.value.counts) {
+        c.store(0, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  // Exposed for tests.
+  static int bucket_index(std::uint64_t value) noexcept {
+    if (value < kSubBuckets) return static_cast<int>(value);
+    const int log = 63 - std::countl_zero(value);
+    const auto sub = static_cast<int>(
+        (value >> (log - 4)) & (kSubBuckets - 1));  // top 4 bits below MSB
+    int idx = (log - 3) * kSubBuckets + sub;
+    return idx >= kTotalBuckets ? kTotalBuckets - 1 : idx;
+  }
+
+  static std::uint64_t bucket_upper_bound(int idx) noexcept {
+    if (idx < kSubBuckets) return static_cast<std::uint64_t>(idx);
+    const int log = idx / kSubBuckets + 3;
+    const int sub = idx % kSubBuckets;
+    return (std::uint64_t{1} << log) +
+           (static_cast<std::uint64_t>(sub + 1) << (log - 4)) - 1;
+  }
+
+ private:
+  struct Shard {
+    std::array<std::atomic<std::uint64_t>, kTotalBuckets> counts{};
+  };
+  std::array<CacheAligned<Shard>, kMaxThreads> shards_{};
+};
+
+}  // namespace hcf::util

@@ -1,0 +1,63 @@
+// Minimal ASCII table formatter for benchmark reports. Every figure bench
+// prints its series through this so outputs are uniform and greppable.
+#pragma once
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace hcf::util {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  // Convenience: format a double with fixed precision.
+  static std::string num(double v, int precision = 2) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+  }
+
+  static std::string num(std::uint64_t v) { return std::to_string(v); }
+
+  void print(std::ostream& os) const {
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+        widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+    print_row(os, header_, widths);
+    std::string sep;
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      sep += std::string(widths[c] + 2, '-');
+      if (c + 1 < widths.size()) sep += "+";
+    }
+    os << sep << "\n";
+    for (const auto& row : rows_) print_row(os, row, widths);
+  }
+
+ private:
+  static void print_row(std::ostream& os, const std::vector<std::string>& row,
+                        const std::vector<std::size_t>& widths) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      os << " " << std::setw(static_cast<int>(widths[c])) << cell << " ";
+      if (c + 1 < widths.size()) os << "|";
+    }
+    os << "\n";
+  }
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hcf::util

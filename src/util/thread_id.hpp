@@ -1,0 +1,63 @@
+// Dense thread-id registry. The simulator, publication arrays and EBR all
+// need small integer thread ids to index per-thread slots. Ids are assigned
+// on first use, cached in a thread_local, and recycled when the thread (or
+// an explicit guard) releases them, so tests that spawn thousands of
+// short-lived threads do not exhaust the id space.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+
+namespace hcf::util {
+
+inline constexpr std::size_t kMaxThreads = 128;
+
+class ThreadRegistry {
+ public:
+  static ThreadRegistry& instance() noexcept {
+    static ThreadRegistry reg;
+    return reg;
+  }
+
+  // Claims the lowest free id. Aborts (assert) if more than kMaxThreads
+  // threads are simultaneously registered.
+  std::size_t acquire() noexcept {
+    for (;;) {
+      for (std::size_t i = 0; i < kMaxThreads; ++i) {
+        bool expected = false;
+        if (!used_[i].load(std::memory_order_relaxed) &&
+            used_[i].compare_exchange_strong(expected, true,
+                                             std::memory_order_acq_rel)) {
+          return i;
+        }
+      }
+      assert(false && "thread id space exhausted");
+    }
+  }
+
+  void release(std::size_t id) noexcept {
+    assert(id < kMaxThreads);
+    used_[id].store(false, std::memory_order_release);
+  }
+
+ private:
+  ThreadRegistry() = default;
+  std::atomic<bool> used_[kMaxThreads]{};
+};
+
+namespace detail {
+struct ThreadIdHolder {
+  std::size_t id;
+  ThreadIdHolder() : id(ThreadRegistry::instance().acquire()) {}
+  ~ThreadIdHolder() { ThreadRegistry::instance().release(id); }
+};
+}  // namespace detail
+
+// Returns this thread's dense id in [0, kMaxThreads). First call registers.
+inline std::size_t this_thread_id() noexcept {
+  thread_local detail::ThreadIdHolder holder;
+  return holder.id;
+}
+
+}  // namespace hcf::util

@@ -1,0 +1,98 @@
+// Zipfian key-distribution generator, matching the formulation used in the
+// paper's AVL experiment: skew parameter theta in [0, 1), where larger theta
+// concentrates probability mass on the *low* end of the key range.
+//
+// This is the classic Gray et al. / YCSB rejection-free inversion method:
+// the CDF is inverted analytically using the zeta normalization constant,
+// so each draw costs O(1) after an O(n)-ish setup (the zeta sum is computed
+// once per (n, theta) pair and cached by value in the generator).
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace hcf::util {
+
+class ZipfianGenerator {
+ public:
+  // Generates values in [0, n). theta == 0 degenerates to uniform-ish
+  // (all ranks equally weighted); theta -> 1 is maximally skewed.
+  ZipfianGenerator(std::uint64_t n, double theta)
+      : n_(n), theta_(theta) {
+    assert(n >= 1);
+    assert(theta >= 0.0 && theta < 1.0);
+    zetan_ = zeta(n, theta);
+    zeta2_ = zeta(2, theta);
+    half_pow_theta_ = std::pow(0.5, theta_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2_ / zetan_);
+  }
+
+  // Draws the next rank in [0, n); rank 0 is the most popular.
+  std::uint64_t next(Xoshiro256& rng) const {
+    const double u = rng.next_double();
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + half_pow_theta_) return 1;
+    const auto v = static_cast<std::uint64_t>(
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return v >= n_ ? n_ - 1 : v;
+  }
+
+  std::uint64_t range() const noexcept { return n_; }
+  double theta() const noexcept { return theta_; }
+
+  // Exact probability of rank k (for tests): p(k) = (1/(k+1)^theta) / zetan.
+  double probability(std::uint64_t k) const {
+    assert(k < n_);
+    return 1.0 / (std::pow(static_cast<double>(k + 1), theta_) * zetan_);
+  }
+
+ private:
+  static double zeta(std::uint64_t n, double theta) {
+    double sum = 0.0;
+    for (std::uint64_t i = 1; i <= n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    return sum;
+  }
+
+  std::uint64_t n_;
+  double theta_;
+  double zetan_;
+  double zeta2_;
+  double half_pow_theta_;
+  double alpha_;
+  double eta_;
+};
+
+// A shared helper that scatters Zipf ranks over the key space so that
+// popular keys are not numerically adjacent (avoids accidental spatial
+// locality in trees). Deterministic permutation via a multiplicative hash.
+class ScatteredZipf {
+ public:
+  ScatteredZipf(std::uint64_t n, double theta, bool scatter = true)
+      : zipf_(n, theta), scatter_(scatter) {}
+
+  std::uint64_t next(Xoshiro256& rng) const {
+    const std::uint64_t rank = zipf_.next(rng);
+    if (!scatter_) return rank;
+    // Feistel-free cheap permutation: multiply by odd constant mod 2^64,
+    // then reduce. This is a bijection over [0, n) only approximately, so
+    // we instead use mix64 and fold — collisions just merge hot keys,
+    // preserving the skew profile.
+    return mix64(rank) % zipf_.range();
+  }
+
+  std::uint64_t range() const noexcept { return zipf_.range(); }
+
+ private:
+  ZipfianGenerator zipf_;
+  bool scatter_;
+};
+
+}  // namespace hcf::util

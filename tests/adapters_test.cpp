@@ -1,0 +1,265 @@
+// Direct unit tests of the adapter run_multi batch semantics (prefix
+// contract, partitioning, result distribution), single-threaded so every
+// outcome is deterministic.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "adapters/deque_ops.hpp"
+#include "adapters/ht_ops.hpp"
+#include "adapters/pq_ops.hpp"
+#include "adapters/stack_ops.hpp"
+#include "mem/ebr.hpp"
+
+namespace hcf::adapters {
+namespace {
+
+// ---- hash table ----
+
+using Table = ds::HashTable<std::uint64_t, std::uint64_t>;
+using HtOp = core::Operation<Table>;
+
+TEST(HtRunMulti, MixedBatchPartitionsInsertsFirst) {
+  Table table(64);
+  table.insert(5, 50);
+
+  HtInsertOp<std::uint64_t, std::uint64_t> ins1, ins2;
+  HtFindOp<std::uint64_t, std::uint64_t> find;
+  HtRemoveOp<std::uint64_t, std::uint64_t> rem;
+  ins1.set(1, 10);
+  ins2.set(2, 20);
+  find.set(5);
+  rem.set(5);
+
+  HtOp* ops[] = {&find, &ins1, &rem, &ins2};
+  std::span<HtOp*> pending(ops);
+  while (!pending.empty()) {
+    const std::size_t k = ins1.run_multi(table, pending);
+    ASSERT_GE(k, 1u);
+    pending = pending.subspan(k);
+  }
+  EXPECT_TRUE(ins1.result());
+  EXPECT_TRUE(ins2.result());
+  EXPECT_EQ(table.find(1), 10u);
+  EXPECT_EQ(table.find(2), 20u);
+  // find/remove ran after the partitioned inserts; both targeted key 5.
+  // One of them saw it before the other removed it — with this adapter,
+  // partition order is deterministic: inserts first, then the remaining
+  // ops in (possibly permuted) order. The important bits: results are
+  // consistent with the final state.
+  EXPECT_FALSE(table.contains(5));
+  EXPECT_TRUE(rem.result());
+  EXPECT_TRUE(table.check_invariants());
+  mem::EbrDomain::instance().drain();
+}
+
+TEST(HtRunMulti, PrefixBoundedByMaxBatch) {
+  Table table(64);
+  std::vector<std::unique_ptr<HtInsertOp<std::uint64_t, std::uint64_t>>> ops;
+  std::vector<HtOp*> raw;
+  for (std::uint64_t i = 0; i < kHtMaxBatch + 5; ++i) {
+    ops.push_back(std::make_unique<HtInsertOp<std::uint64_t, std::uint64_t>>());
+    ops.back()->set(i, i);
+    raw.push_back(ops.back().get());
+  }
+  const std::size_t k = ops[0]->run_multi(table, std::span<HtOp*>(raw));
+  EXPECT_EQ(k, kHtMaxBatch);
+  EXPECT_EQ(table.size_slow(), kHtMaxBatch);
+}
+
+// ---- priority queue ----
+
+using Pq = ds::SkipListPq<std::uint64_t>;
+using PqOp = core::Operation<Pq>;
+
+TEST(PqRunMulti, InsertEliminatesAgainstRemoveMin) {
+  // Pending Insert(5) is below the queue minimum (10), so it is consumed
+  // by a RemoveMin directly: removes get {5, 10, 20}, the insert never
+  // touches the skip list.
+  Pq pq;
+  for (std::uint64_t k : {30, 10, 20, 40}) pq.insert(k);
+  PqRemoveMinOp<std::uint64_t> rm1, rm2, rm3;
+  PqInsertOp<std::uint64_t> ins;
+  ins.set(5);
+  PqOpBase<std::uint64_t>::reset_eliminations();
+  PqOp* ops[] = {&rm1, &ins, &rm2, &rm3};
+  std::span<PqOp*> pending(ops);
+  while (!pending.empty()) {
+    const std::size_t k = rm1.run_multi(pq, pending);
+    ASSERT_GE(k, 1u);
+    pending = pending.subspan(k);
+  }
+  std::multiset<std::uint64_t> got = {*rm1.result(), *rm2.result(),
+                                      *rm3.result()};
+  EXPECT_EQ(got, (std::multiset<std::uint64_t>{5, 10, 20}));
+  EXPECT_EQ(pq.size_slow(), 2u);  // 30 and 40 remain
+  EXPECT_EQ(pq.peek_min(), 30u);
+  EXPECT_EQ(PqOpBase<std::uint64_t>::eliminations(), 1u);
+  mem::EbrDomain::instance().drain();
+}
+
+TEST(PqRunMulti, HighInsertKeysDontEliminate) {
+  // Insert key above the queue minimum: RemoveMins take the batched
+  // remove_min_n path, the insert lands in the queue afterwards.
+  Pq pq;
+  for (std::uint64_t k : {10, 20}) pq.insert(k);
+  PqRemoveMinOp<std::uint64_t> rm1, rm2;
+  PqInsertOp<std::uint64_t> ins;
+  ins.set(50);
+  PqOpBase<std::uint64_t>::reset_eliminations();
+  PqOp* ops[] = {&rm1, &ins, &rm2};
+  std::span<PqOp*> pending(ops);
+  while (!pending.empty()) {
+    const std::size_t k = rm1.run_multi(pq, pending);
+    ASSERT_GE(k, 1u);
+    pending = pending.subspan(k);
+  }
+  std::multiset<std::uint64_t> got = {*rm1.result(), *rm2.result()};
+  EXPECT_EQ(got, (std::multiset<std::uint64_t>{10, 20}));
+  EXPECT_EQ(pq.size_slow(), 1u);
+  EXPECT_EQ(pq.peek_min(), 50u);
+  EXPECT_EQ(PqOpBase<std::uint64_t>::eliminations(), 0u);
+  mem::EbrDomain::instance().drain();
+}
+
+TEST(PqRunMulti, EliminationIntoEmptyQueue) {
+  // Empty queue: RemoveMins are served from pending inserts in ascending
+  // order; surplus RemoveMins get nullopt.
+  Pq pq;
+  PqRemoveMinOp<std::uint64_t> rm1, rm2, rm3;
+  PqInsertOp<std::uint64_t> i1, i2;
+  i1.set(9);
+  i2.set(3);
+  PqOp* ops[] = {&rm1, &i1, &rm2, &i2, &rm3};
+  std::span<PqOp*> pending(ops);
+  while (!pending.empty()) {
+    const std::size_t k = rm1.run_multi(pq, pending);
+    ASSERT_GE(k, 1u);
+    pending = pending.subspan(k);
+  }
+  std::multiset<std::uint64_t> got;
+  int empties = 0;
+  for (auto* rm : {&rm1, &rm2, &rm3}) {
+    if (rm->result().has_value()) {
+      got.insert(*rm->result());
+    } else {
+      ++empties;
+    }
+  }
+  EXPECT_EQ(got, (std::multiset<std::uint64_t>{3, 9}));
+  EXPECT_EQ(empties, 1);
+  EXPECT_TRUE(pq.empty());
+  mem::EbrDomain::instance().drain();
+}
+
+TEST(PqRunMulti, RemoveMinOnEmptyYieldsNullopt) {
+  Pq pq;
+  PqRemoveMinOp<std::uint64_t> rm1, rm2;
+  PqOp* ops[] = {&rm1, &rm2};
+  const std::size_t k = rm1.run_multi(pq, std::span<PqOp*>(ops));
+  EXPECT_EQ(k, 2u);
+  EXPECT_FALSE(rm1.result().has_value());
+  EXPECT_FALSE(rm2.result().has_value());
+}
+
+TEST(PqRunMulti, PartiallyEmptyQueue) {
+  Pq pq;
+  pq.insert(7);
+  PqRemoveMinOp<std::uint64_t> rm1, rm2;
+  PqOp* ops[] = {&rm1, &rm2};
+  rm1.run_multi(pq, std::span<PqOp*>(ops));
+  EXPECT_EQ(rm1.result(), 7u);
+  EXPECT_FALSE(rm2.result().has_value());
+  mem::EbrDomain::instance().drain();
+}
+
+// ---- deque ----
+
+using Dq = ds::Deque<std::uint64_t>;
+using DqOp = core::Operation<Dq>;
+
+TEST(DequeRunMulti, SameKindPrefixBatches) {
+  Dq dq;
+  PushLeftOp<std::uint64_t> p1, p2;
+  PopLeftOp<std::uint64_t> q1;
+  p1.set(1);
+  p2.set(2);
+  DqOp* ops[] = {&p1, &q1, &p2};
+  // First call batches the two pushes (partitioned to the front).
+  const std::size_t k1 = p1.run_multi(dq, std::span<DqOp*>(ops));
+  EXPECT_EQ(k1, 2u);
+  EXPECT_EQ(dq.size_slow(), 2u);
+  // Second call handles the pop.
+  const std::size_t k2 =
+      q1.run_multi(dq, std::span<DqOp*>(ops).subspan(k1));
+  EXPECT_EQ(k2, 1u);
+  ASSERT_TRUE(q1.result().has_value());
+  mem::EbrDomain::instance().drain();
+}
+
+TEST(DequeRunMulti, PopBatchAssignsInOrder) {
+  Dq dq;
+  for (std::uint64_t v = 0; v < 6; ++v) dq.push_right(v);  // [0..5]
+  PopLeftOp<std::uint64_t> q1, q2, q3;
+  DqOp* ops[] = {&q1, &q2, &q3};
+  const std::size_t k = q1.run_multi(dq, std::span<DqOp*>(ops));
+  EXPECT_EQ(k, 3u);
+  EXPECT_EQ(q1.result(), 0u);
+  EXPECT_EQ(q2.result(), 1u);
+  EXPECT_EQ(q3.result(), 2u);
+  mem::EbrDomain::instance().drain();
+}
+
+// ---- stack elimination ----
+
+using St = ds::Stack<std::uint64_t>;
+using StOp = core::Operation<St>;
+
+TEST(StackRunMulti, PairsEliminateWithoutTouchingStack) {
+  St st;
+  st.push(99);
+  StackPushOp<std::uint64_t> push;
+  StackPopOp<std::uint64_t> pop;
+  push.set(42);
+  StackOpBase<std::uint64_t>::reset_eliminations();
+  StOp* ops[] = {&push, &pop};
+  const std::size_t k = push.run_multi(st, std::span<StOp*>(ops));
+  EXPECT_EQ(k, 2u);
+  EXPECT_EQ(pop.result(), 42u);            // served by the eliminated push
+  EXPECT_EQ(st.size_slow(), 1u);           // stack untouched
+  EXPECT_EQ(st.peek(), 99u);
+  EXPECT_EQ(StackOpBase<std::uint64_t>::eliminations(), 1u);
+}
+
+TEST(StackRunMulti, SurplusPushesChain) {
+  St st;
+  StackPushOp<std::uint64_t> p1, p2, p3;
+  StackPopOp<std::uint64_t> q1;
+  p1.set(1);
+  p2.set(2);
+  p3.set(3);
+  StOp* ops[] = {&p1, &q1, &p2, &p3};
+  const std::size_t k = p1.run_multi(st, std::span<StOp*>(ops));
+  EXPECT_EQ(k, 4u);
+  ASSERT_TRUE(q1.result().has_value());    // eliminated against one push
+  EXPECT_EQ(st.size_slow(), 2u);           // the two surviving pushes
+  mem::EbrDomain::instance().drain();
+}
+
+TEST(StackRunMulti, SurplusPopsDrainTopFirst) {
+  St st;
+  st.push(10);
+  st.push(20);  // top
+  StackPopOp<std::uint64_t> q1, q2;
+  StOp* ops[] = {&q1, &q2};
+  q1.run_multi(st, std::span<StOp*>(ops));
+  EXPECT_EQ(q1.result(), 20u);
+  EXPECT_EQ(q2.result(), 10u);
+  EXPECT_TRUE(st.empty());
+  mem::EbrDomain::instance().drain();
+}
+
+}  // namespace
+}  // namespace hcf::adapters

@@ -1,0 +1,248 @@
+// Sequential correctness of the AVL tree, randomized against std::set,
+// plus structural (balance/height/order) invariants and the batch
+// combining/elimination semantics of the adapter's run_multi.
+#include "ds/avl_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "adapters/avl_ops.hpp"
+#include "mem/ebr.hpp"
+#include "util/rng.hpp"
+
+namespace hcf::ds {
+namespace {
+
+using Tree = AvlTree<std::uint64_t>;
+
+TEST(AvlSeq, InsertContainsRemoveBasics) {
+  Tree t;
+  EXPECT_FALSE(t.contains(5));
+  EXPECT_TRUE(t.insert(5));
+  EXPECT_FALSE(t.insert(5));
+  EXPECT_TRUE(t.contains(5));
+  EXPECT_TRUE(t.remove(5));
+  EXPECT_FALSE(t.remove(5));
+  EXPECT_FALSE(t.contains(5));
+  EXPECT_TRUE(t.check_invariants());
+}
+
+TEST(AvlSeq, AscendingInsertStaysBalanced) {
+  Tree t;
+  for (std::uint64_t k = 0; k < 1024; ++k) ASSERT_TRUE(t.insert(k));
+  EXPECT_TRUE(t.check_invariants());
+  // AVL height bound: <= 1.44 * log2(n + 2).
+  EXPECT_LE(t.height_of_root(), 15);
+  EXPECT_EQ(t.size_slow(), 1024u);
+}
+
+TEST(AvlSeq, DescendingInsertStaysBalanced) {
+  Tree t;
+  for (std::uint64_t k = 1024; k > 0; --k) ASSERT_TRUE(t.insert(k));
+  EXPECT_TRUE(t.check_invariants());
+  EXPECT_LE(t.height_of_root(), 15);
+}
+
+TEST(AvlSeq, InOrderTraversalSorted) {
+  Tree t;
+  util::Xoshiro256 rng(3);
+  std::set<std::uint64_t> ref;
+  for (int i = 0; i < 500; ++i) {
+    const auto k = rng.next_bounded(10000);
+    t.insert(k);
+    ref.insert(k);
+  }
+  std::vector<std::uint64_t> keys;
+  t.for_each([&](std::uint64_t k) { keys.push_back(k); });
+  EXPECT_EQ(keys, std::vector<std::uint64_t>(ref.begin(), ref.end()));
+}
+
+TEST(AvlSeq, RemoveInteriorNodesKeepsInvariants) {
+  Tree t;
+  for (std::uint64_t k = 0; k < 128; ++k) t.insert(k);
+  // Remove nodes with two children (interior) by walking from the middle.
+  for (std::uint64_t k = 32; k < 96; ++k) {
+    ASSERT_TRUE(t.remove(k)) << k;
+    ASSERT_TRUE(t.check_invariants()) << k;
+  }
+  EXPECT_EQ(t.size_slow(), 64u);
+}
+
+TEST(AvlSeq, RandomizedAgainstStdSet) {
+  Tree t;
+  std::set<std::uint64_t> ref;
+  util::Xoshiro256 rng(77);
+  for (int i = 0; i < 30000; ++i) {
+    const std::uint64_t key = rng.next_bounded(300);
+    switch (rng.next_bounded(3)) {
+      case 0:
+        ASSERT_EQ(t.insert(key), ref.insert(key).second) << i;
+        break;
+      case 1:
+        ASSERT_EQ(t.remove(key), ref.erase(key) > 0) << i;
+        break;
+      default:
+        ASSERT_EQ(t.contains(key), ref.count(key) > 0) << i;
+    }
+    if (i % 1000 == 0) {
+      ASSERT_TRUE(t.check_invariants()) << i;
+    }
+  }
+  EXPECT_TRUE(t.check_invariants());
+  EXPECT_EQ(t.size_slow(), ref.size());
+  mem::EbrDomain::instance().drain();
+}
+
+TEST(AvlSeq, RootKeyHintTracksRoot) {
+  Tree t;
+  std::uint64_t hint = 0;
+  EXPECT_FALSE(t.root_key_hint(&hint));
+  t.insert(10);
+  ASSERT_TRUE(t.root_key_hint(&hint));
+  EXPECT_EQ(hint, 10u);
+  // Force rotations that move the root.
+  t.insert(20);
+  t.insert(30);  // root becomes 20
+  ASSERT_TRUE(t.root_key_hint(&hint));
+  EXPECT_EQ(hint, 20u);
+  t.remove(10);
+  t.remove(20);
+  t.remove(30);
+  EXPECT_FALSE(t.root_key_hint(&hint));
+}
+
+TEST(AvlSeq, TransactionalRollback) {
+  Tree t;
+  t.insert(1);
+  htm::attempt([&] {
+    t.insert(2);
+    t.remove(1);
+    htm::abort_tx();
+  });
+  EXPECT_TRUE(t.contains(1));
+  EXPECT_FALSE(t.contains(2));
+  EXPECT_TRUE(t.check_invariants());
+}
+
+// ---- adapter batch semantics (run_multi combining + elimination) ----
+
+using Op = core::Operation<Tree>;
+
+TEST(AvlBatch, SortedCombineEliminateMatchesSequential) {
+  util::Xoshiro256 rng(11);
+  for (int round = 0; round < 200; ++round) {
+    Tree tree;
+    std::set<std::uint64_t> ref;
+    for (std::uint64_t k = 0; k < 32; k += 2) {
+      tree.insert(k);
+      ref.insert(k);
+    }
+    // Random batch of ops over a tiny key range to force same-key groups.
+    std::vector<std::unique_ptr<adapters::AvlOpBase<std::uint64_t>>> ops;
+    for (int i = 0; i < 12; ++i) {
+      const auto key = rng.next_bounded(8);
+      switch (rng.next_bounded(3)) {
+        case 0: ops.push_back(std::make_unique<adapters::AvlInsertOp<std::uint64_t>>()); break;
+        case 1: ops.push_back(std::make_unique<adapters::AvlRemoveOp<std::uint64_t>>()); break;
+        default: ops.push_back(std::make_unique<adapters::AvlContainsOp<std::uint64_t>>());
+      }
+      ops.back()->set(key);
+    }
+    std::vector<Op*> raw;
+    for (auto& op : ops) raw.push_back(op.get());
+
+    // Apply through run_multi (possibly several prefix calls).
+    std::span<Op*> pending(raw);
+    while (!pending.empty()) {
+      const std::size_t k = ops[0]->run_multi(tree, pending);
+      ASSERT_GE(k, 1u);
+      pending = pending.subspan(k);
+    }
+
+    // Reference: the ops in the order run_multi chose (it sorts, so we
+    // must compare against *some* linearization — replay in the permuted
+    // order produced by run_multi and compare results).
+    for (Op* op : raw) {
+      auto* o = static_cast<adapters::AvlOpBase<std::uint64_t>*>(op);
+      bool expected = false;
+      switch (o->kind()) {
+        case adapters::AvlOpBase<std::uint64_t>::Kind::Contains:
+          expected = ref.count(o->key()) > 0;
+          break;
+        case adapters::AvlOpBase<std::uint64_t>::Kind::Insert:
+          expected = ref.insert(o->key()).second;
+          break;
+        case adapters::AvlOpBase<std::uint64_t>::Kind::Remove:
+          expected = ref.erase(o->key()) > 0;
+          break;
+      }
+      ASSERT_EQ(o->result(), expected) << "round " << round;
+    }
+    // Final states agree.
+    ASSERT_EQ(tree.size_slow(), ref.size()) << round;
+    for (std::uint64_t k = 0; k < 8; ++k) {
+      ASSERT_EQ(tree.contains(k), ref.count(k) > 0) << round;
+    }
+    ASSERT_TRUE(tree.check_invariants());
+  }
+  mem::EbrDomain::instance().drain();
+}
+
+TEST(AvlBatch, InsertRemovePairEliminates) {
+  // An Insert(42) followed by Remove(42) on an absent key must combine to
+  // zero physical mutations: size unchanged, results per set semantics.
+  Tree tree;
+  tree.insert(1);
+  adapters::AvlInsertOp<std::uint64_t> ins;
+  adapters::AvlRemoveOp<std::uint64_t> rem;
+  ins.set(42);
+  rem.set(42);
+  Op* ops[] = {&ins, &rem};
+  const std::size_t k = ins.run_multi(tree, std::span<Op*>(ops));
+  EXPECT_EQ(k, 2u);
+  EXPECT_TRUE(ins.result());   // inserted (logically)
+  EXPECT_TRUE(rem.result());   // removed (logically)
+  EXPECT_FALSE(tree.contains(42));
+  EXPECT_EQ(tree.size_slow(), 1u);
+}
+
+TEST(AvlBatch, DuplicateInsertsOnlyFirstWins) {
+  Tree tree;
+  adapters::AvlInsertOp<std::uint64_t> a, b, c;
+  a.set(7);
+  b.set(7);
+  c.set(7);
+  Op* ops[] = {&a, &b, &c};
+  a.run_multi(tree, std::span<Op*>(ops));
+  int wins = (a.result() ? 1 : 0) + (b.result() ? 1 : 0) + (c.result() ? 1 : 0);
+  EXPECT_EQ(wins, 1);
+  EXPECT_TRUE(tree.contains(7));
+}
+
+TEST(AvlBatch, ShouldHelpSelectsSameSubtree) {
+  Tree tree;
+  for (std::uint64_t k = 0; k < 64; ++k) tree.insert(k);
+  std::uint64_t root = 0;
+  ASSERT_TRUE(tree.root_key_hint(&root));
+  ASSERT_GT(root, 0u);
+
+  adapters::AvlContainsOp<std::uint64_t> left_op, another_left, right_op;
+  left_op.bind_tree(&tree);
+  left_op.set(root - 1);
+  another_left.set(0);
+  right_op.set(root + 1);
+  EXPECT_TRUE(left_op.should_help(another_left));
+  EXPECT_FALSE(left_op.should_help(right_op));
+}
+
+TEST(AvlBatch, ShouldHelpWithoutHintHelpsAll) {
+  adapters::AvlContainsOp<std::uint64_t> a, b;
+  a.set(1);
+  b.set(1000);
+  EXPECT_TRUE(a.should_help(b));  // no tree bound -> help everyone
+}
+
+}  // namespace
+}  // namespace hcf::ds

@@ -1,0 +1,130 @@
+// Cross-engine interference: the orec table, global epoch, and EBR domain
+// are process-global, so independent engines over independent structures
+// share them. Running several engines concurrently must not corrupt any of
+// them (false orec conflicts are allowed — lost updates are not).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "adapters/avl_ops.hpp"
+#include "adapters/ht_ops.hpp"
+#include "adapters/stack_ops.hpp"
+#include "core/engine.hpp"
+#include "mem/ebr.hpp"
+#include "util/rng.hpp"
+
+namespace hcf::test {
+namespace {
+
+TEST(CrossEngine, ThreeEnginesShareTheSubstrate) {
+  using Table = ds::HashTable<std::uint64_t, std::uint64_t>;
+  using Tree = ds::AvlTree<std::uint64_t>;
+  using St = ds::Stack<std::uint64_t>;
+
+  Table table(64);
+  Tree tree;
+  St stack;
+  core::HcfEngine<Table> ht_engine(table, adapters::ht_paper_config(),
+                                   adapters::kHtNumArrays);
+  core::TleEngine<Tree> tree_engine(tree);
+  core::FcEngine<St> stack_engine(stack);
+
+  constexpr int kOps = 6000;
+  constexpr std::uint64_t kRange = 64;
+
+  std::vector<std::thread> threads;
+  // Two threads per engine, interleaved across engines.
+  std::vector<std::vector<std::int64_t>> ht_net(2), tree_net(2);
+  std::vector<std::vector<std::uint64_t>> pushed(2), popped(2);
+
+  for (int t = 0; t < 2; ++t) {
+    ht_net[t].assign(kRange, 0);
+    tree_net[t].assign(kRange, 0);
+    threads.emplace_back([&, t] {  // hash table worker
+      util::Xoshiro256 rng(100 + t);
+      adapters::HtInsertOp<std::uint64_t, std::uint64_t> insert;
+      adapters::HtRemoveOp<std::uint64_t, std::uint64_t> remove;
+      for (int i = 0; i < kOps; ++i) {
+        const auto key = rng.next_bounded(kRange);
+        if (rng.next_bounded(2) == 0) {
+          insert.set(key, key * 2 + 1);
+          ht_engine.execute(insert);
+          if (insert.result()) ++ht_net[t][key];
+        } else {
+          remove.set(key);
+          ht_engine.execute(remove);
+          if (remove.result()) --ht_net[t][key];
+        }
+      }
+    });
+    threads.emplace_back([&, t] {  // AVL worker
+      util::Xoshiro256 rng(200 + t);
+      adapters::AvlInsertOp<std::uint64_t> insert;
+      adapters::AvlRemoveOp<std::uint64_t> remove;
+      insert.bind_tree(&tree);
+      remove.bind_tree(&tree);
+      for (int i = 0; i < kOps; ++i) {
+        const auto key = rng.next_bounded(kRange);
+        if (rng.next_bounded(2) == 0) {
+          insert.set(key);
+          tree_engine.execute(insert);
+          if (insert.result()) ++tree_net[t][key];
+        } else {
+          remove.set(key);
+          tree_engine.execute(remove);
+          if (remove.result()) --tree_net[t][key];
+        }
+      }
+    });
+    threads.emplace_back([&, t] {  // stack worker
+      util::Xoshiro256 rng(300 + t);
+      adapters::StackPushOp<std::uint64_t> push;
+      adapters::StackPopOp<std::uint64_t> pop;
+      std::uint64_t seq = 0;
+      for (int i = 0; i < kOps; ++i) {
+        if (rng.next_bounded(2) == 0) {
+          const std::uint64_t v = (static_cast<std::uint64_t>(t) << 32) | seq++;
+          push.set(v);
+          stack_engine.execute(push);
+          pushed[t].push_back(v);
+        } else {
+          stack_engine.execute(pop);
+          if (pop.result().has_value()) popped[t].push_back(*pop.result());
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  // Hash table accounting.
+  for (std::uint64_t k = 0; k < kRange; ++k) {
+    std::int64_t expected = ht_net[0][k] + ht_net[1][k];
+    ASSERT_TRUE(expected == 0 || expected == 1) << k;
+    EXPECT_EQ(table.contains(k), expected == 1) << k;
+  }
+  EXPECT_TRUE(table.check_invariants());
+  // Tree accounting.
+  for (std::uint64_t k = 0; k < kRange; ++k) {
+    std::int64_t expected = tree_net[0][k] + tree_net[1][k];
+    ASSERT_TRUE(expected == 0 || expected == 1) << k;
+    EXPECT_EQ(tree.contains(k), expected == 1) << k;
+  }
+  EXPECT_TRUE(tree.check_invariants());
+  // Stack accounting.
+  std::multiset<std::uint64_t> all_pushed, all_popped;
+  for (auto& v : pushed) all_pushed.insert(v.begin(), v.end());
+  for (auto& v : popped) all_popped.insert(v.begin(), v.end());
+  for (auto v : all_popped) ASSERT_EQ(all_pushed.count(v), 1u);
+  std::multiset<std::uint64_t> left = all_pushed;
+  for (auto v : all_popped) left.erase(v);
+  std::multiset<std::uint64_t> actual;
+  stack.for_each([&](std::uint64_t v) { actual.insert(v); });
+  EXPECT_EQ(actual, left);
+
+  mem::EbrDomain::instance().drain();
+}
+
+}  // namespace
+}  // namespace hcf::test

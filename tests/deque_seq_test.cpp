@@ -1,0 +1,178 @@
+#include "ds/deque.hpp"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <vector>
+
+#include "mem/ebr.hpp"
+#include "util/rng.hpp"
+
+namespace hcf::ds {
+namespace {
+
+using Dq = Deque<std::uint64_t>;
+
+TEST(DequeSeq, PushPopBothEnds) {
+  Dq d;
+  EXPECT_TRUE(d.empty());
+  d.push_left(1);
+  d.push_right(2);
+  d.push_left(0);
+  // [0, 1, 2]
+  EXPECT_EQ(d.size_slow(), 3u);
+  EXPECT_TRUE(d.check_invariants());
+  EXPECT_EQ(d.pop_left(), 0u);
+  EXPECT_EQ(d.pop_right(), 2u);
+  EXPECT_EQ(d.pop_left(), 1u);
+  EXPECT_FALSE(d.pop_left().has_value());
+  EXPECT_FALSE(d.pop_right().has_value());
+  EXPECT_TRUE(d.empty());
+}
+
+TEST(DequeSeq, SingleElementPopsFromEitherEnd) {
+  {
+    Dq d;
+    d.push_left(9);
+    EXPECT_EQ(d.pop_right(), 9u);
+    EXPECT_TRUE(d.empty());
+    EXPECT_TRUE(d.check_invariants());
+  }
+  {
+    Dq d;
+    d.push_right(9);
+    EXPECT_EQ(d.pop_left(), 9u);
+    EXPECT_TRUE(d.empty());
+  }
+}
+
+TEST(DequeSeq, PushNLeftOrder) {
+  Dq d;
+  d.push_right(100);
+  const std::uint64_t vals[] = {1, 2, 3};
+  d.push_n_left(vals);
+  // values[0] outermost left: [1, 2, 3, 100]
+  EXPECT_EQ(d.pop_left(), 1u);
+  EXPECT_EQ(d.pop_left(), 2u);
+  EXPECT_EQ(d.pop_left(), 3u);
+  EXPECT_EQ(d.pop_left(), 100u);
+  EXPECT_TRUE(d.check_invariants());
+}
+
+TEST(DequeSeq, PushNRightOrder) {
+  Dq d;
+  d.push_left(100);
+  const std::uint64_t vals[] = {1, 2, 3};
+  d.push_n_right(vals);
+  // values[0] outermost right: [100, 3, 2, 1]
+  EXPECT_EQ(d.pop_right(), 1u);
+  EXPECT_EQ(d.pop_right(), 2u);
+  EXPECT_EQ(d.pop_right(), 3u);
+  EXPECT_EQ(d.pop_right(), 100u);
+}
+
+TEST(DequeSeq, PushNIntoEmpty) {
+  Dq d;
+  const std::uint64_t vals[] = {4, 5};
+  d.push_n_left(vals);
+  EXPECT_EQ(d.size_slow(), 2u);
+  EXPECT_TRUE(d.check_invariants());
+  EXPECT_EQ(d.pop_right(), 5u);
+  EXPECT_EQ(d.pop_right(), 4u);
+
+  d.push_n_right(vals);
+  EXPECT_TRUE(d.check_invariants());
+  EXPECT_EQ(d.pop_left(), 5u);
+  EXPECT_EQ(d.pop_left(), 4u);
+}
+
+TEST(DequeSeq, PopNLeftMatchesRepeatedPops) {
+  Dq batched, single;
+  for (std::uint64_t v = 0; v < 10; ++v) {
+    batched.push_right(v);
+    single.push_right(v);
+  }
+  std::uint64_t out[4];
+  EXPECT_EQ(batched.pop_n_left(std::span<std::uint64_t>(out, 4)), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(out[i], *single.pop_left());
+  EXPECT_EQ(batched.size_slow(), single.size_slow());
+  EXPECT_TRUE(batched.check_invariants());
+}
+
+TEST(DequeSeq, PopNRightDrainsPastEmpty) {
+  Dq d;
+  d.push_left(1);
+  d.push_left(2);
+  std::uint64_t out[5];
+  EXPECT_EQ(d.pop_n_right(std::span<std::uint64_t>(out, 5)), 2u);
+  EXPECT_EQ(out[0], 1u);
+  EXPECT_EQ(out[1], 2u);
+  EXPECT_TRUE(d.empty());
+  EXPECT_TRUE(d.check_invariants());
+  EXPECT_EQ(d.pop_n_right(std::span<std::uint64_t>(out, 5)), 0u);
+}
+
+TEST(DequeSeq, RandomizedAgainstStdDeque) {
+  Dq d;
+  std::deque<std::uint64_t> ref;
+  util::Xoshiro256 rng(31);
+  for (int i = 0; i < 30000; ++i) {
+    switch (rng.next_bounded(4)) {
+      case 0: {
+        const auto v = rng.next();
+        d.push_left(v);
+        ref.push_front(v);
+        break;
+      }
+      case 1: {
+        const auto v = rng.next();
+        d.push_right(v);
+        ref.push_back(v);
+        break;
+      }
+      case 2: {
+        const auto got = d.pop_left();
+        if (ref.empty()) {
+          ASSERT_FALSE(got.has_value());
+        } else {
+          ASSERT_EQ(*got, ref.front());
+          ref.pop_front();
+        }
+        break;
+      }
+      default: {
+        const auto got = d.pop_right();
+        if (ref.empty()) {
+          ASSERT_FALSE(got.has_value());
+        } else {
+          ASSERT_EQ(*got, ref.back());
+          ref.pop_back();
+        }
+      }
+    }
+  }
+  EXPECT_EQ(d.size_slow(), ref.size());
+  EXPECT_TRUE(d.check_invariants());
+  std::vector<std::uint64_t> contents;
+  d.for_each([&](std::uint64_t v) { contents.push_back(v); });
+  EXPECT_TRUE(std::equal(contents.begin(), contents.end(), ref.begin(),
+                         ref.end()));
+  mem::EbrDomain::instance().drain();
+}
+
+TEST(DequeSeq, TransactionalRollback) {
+  Dq d;
+  d.push_left(1);
+  htm::attempt([&] {
+    d.push_right(2);
+    (void)d.pop_left();
+    htm::abort_tx();
+  });
+  EXPECT_EQ(d.size_slow(), 1u);
+  EXPECT_EQ(*d.pop_left(), 1u);
+  EXPECT_TRUE(d.check_invariants());
+  mem::EbrDomain::instance().drain();
+}
+
+}  // namespace
+}  // namespace hcf::ds

@@ -1,0 +1,117 @@
+// Concurrent correctness of every engine over the deque (two-ends
+// configuration): unique pushed values, every value popped at most once,
+// pushed = popped + remaining.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "engine_test_util.hpp"
+#include "mem/ebr.hpp"
+#include "util/rng.hpp"
+
+namespace hcf::test {
+namespace {
+
+using Dq = ds::Deque<std::uint64_t>;
+
+constexpr int kThreads = 4;
+constexpr int kOpsPerThread = 8000;
+
+HcfConfig deque_config() {
+  return {adapters::deque_paper_config(), adapters::kDequeNumArrays};
+}
+
+template <typename Engine>
+class EngineDequeTest : public ::testing::Test {};
+
+using EngineTypes =
+    ::testing::Types<Engines<Dq>::Lock, Engines<Dq>::Tle, Engines<Dq>::Scm,
+                     Engines<Dq>::Fc, Engines<Dq>::TleFc, Engines<Dq>::Hcf,
+                     Engines<Dq>::Hcf1C>;
+TYPED_TEST_SUITE(EngineDequeTest, EngineTypes);
+
+TYPED_TEST(EngineDequeTest, PushedEqualsPoppedPlusRemaining) {
+  Dq dq;
+  auto engine = EngineMaker<TypeParam>::make(dq, deque_config());
+
+  std::vector<std::vector<std::uint64_t>> pushed(kThreads);
+  std::vector<std::vector<std::uint64_t>> popped(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      util::Xoshiro256 rng(555 + t);
+      adapters::PushLeftOp<std::uint64_t> push_left;
+      adapters::PopLeftOp<std::uint64_t> pop_left;
+      adapters::PushRightOp<std::uint64_t> push_right;
+      adapters::PopRightOp<std::uint64_t> pop_right;
+      std::uint64_t seq = 0;
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const std::uint64_t value =
+            (static_cast<std::uint64_t>(t) << 32) | seq;
+        const bool left = (rng.next() & 1) == 0;
+        if (rng.next_bounded(100) < 55) {  // slight push bias
+          ++seq;
+          if (left) {
+            push_left.set(value);
+            engine->execute(push_left);
+          } else {
+            push_right.set(value);
+            engine->execute(push_right);
+          }
+          pushed[t].push_back(value);
+        } else {
+          const std::optional<std::uint64_t>* result;
+          if (left) {
+            engine->execute(pop_left);
+            result = &pop_left.result();
+          } else {
+            engine->execute(pop_right);
+            result = &pop_right.result();
+          }
+          if (result->has_value()) popped[t].push_back(**result);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  std::multiset<std::uint64_t> all_pushed, all_popped;
+  for (const auto& v : pushed) all_pushed.insert(v.begin(), v.end());
+  for (const auto& v : popped) all_popped.insert(v.begin(), v.end());
+
+  for (std::uint64_t v : all_popped) {
+    ASSERT_EQ(all_pushed.count(v), 1u) << TypeParam::name() << " " << v;
+    ASSERT_EQ(all_popped.count(v), 1u) << TypeParam::name() << " " << v;
+  }
+  std::multiset<std::uint64_t> expected_left = all_pushed;
+  for (std::uint64_t v : all_popped) expected_left.erase(v);
+  std::multiset<std::uint64_t> actual_left;
+  dq.for_each([&](std::uint64_t v) { actual_left.insert(v); });
+  EXPECT_EQ(actual_left, expected_left) << TypeParam::name();
+  EXPECT_TRUE(dq.check_invariants()) << TypeParam::name();
+  mem::EbrDomain::instance().drain();
+}
+
+TYPED_TEST(EngineDequeTest, FifoThroughOppositeEnds) {
+  // Single-threaded: push right, pop left => FIFO order preserved.
+  Dq dq;
+  auto engine = EngineMaker<TypeParam>::make(dq, deque_config());
+  adapters::PushRightOp<std::uint64_t> push;
+  adapters::PopLeftOp<std::uint64_t> pop;
+  for (std::uint64_t v = 0; v < 100; ++v) {
+    push.set(v);
+    engine->execute(push);
+  }
+  for (std::uint64_t v = 0; v < 100; ++v) {
+    engine->execute(pop);
+    ASSERT_EQ(pop.result(), v) << TypeParam::name();
+  }
+  engine->execute(pop);
+  EXPECT_FALSE(pop.result().has_value());
+  mem::EbrDomain::instance().drain();
+}
+
+}  // namespace
+}  // namespace hcf::test

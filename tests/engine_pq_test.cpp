@@ -1,0 +1,117 @@
+// Concurrent correctness of every engine over the skip-list priority queue:
+// every key inserted with a unique tag must be removed at most once, and
+// inserted-but-not-removed keys must all still be present at the end.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "engine_test_util.hpp"
+#include "mem/ebr.hpp"
+#include "util/rng.hpp"
+
+namespace hcf::test {
+namespace {
+
+using Pq = ds::SkipListPq<std::uint64_t>;
+
+constexpr int kThreads = 4;
+constexpr int kOpsPerThread = 8000;
+
+HcfConfig pq_config() {
+  return {adapters::pq_paper_config(), adapters::kPqNumArrays};
+}
+
+template <typename Engine>
+class EnginePqTest : public ::testing::Test {};
+
+using EngineTypes =
+    ::testing::Types<Engines<Pq>::Lock, Engines<Pq>::Tle, Engines<Pq>::Scm,
+                     Engines<Pq>::Fc, Engines<Pq>::TleFc, Engines<Pq>::Hcf,
+                     Engines<Pq>::Hcf1C>;
+TYPED_TEST_SUITE(EnginePqTest, EngineTypes);
+
+TYPED_TEST(EnginePqTest, EveryInsertedKeyRemovedAtMostOnce) {
+  Pq pq;
+  auto engine = EngineMaker<TypeParam>::make(pq, pq_config());
+
+  // Unique keys: thread id in the high bits, sequence in the low bits,
+  // scrambled into the priority order via a shared low field.
+  std::vector<std::vector<std::uint64_t>> inserted(kThreads);
+  std::vector<std::vector<std::uint64_t>> removed(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      util::Xoshiro256 rng(321 + t);
+      adapters::PqInsertOp<std::uint64_t> insert;
+      adapters::PqRemoveMinOp<std::uint64_t> remove_min;
+      std::uint64_t seq = 0;
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        if (rng.next_bounded(2) == 0) {
+          // priority (random) | thread | seq  -> globally unique
+          const std::uint64_t key = (rng.next_bounded(1 << 16) << 32) |
+                                    (static_cast<std::uint64_t>(t) << 24) |
+                                    seq++;
+          insert.set(key);
+          engine->execute(insert);
+          inserted[t].push_back(key);
+        } else {
+          engine->execute(remove_min);
+          if (remove_min.result().has_value()) {
+            removed[t].push_back(*remove_min.result());
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  std::multiset<std::uint64_t> all_inserted;
+  for (const auto& v : inserted) all_inserted.insert(v.begin(), v.end());
+  std::multiset<std::uint64_t> all_removed;
+  for (const auto& v : removed) all_removed.insert(v.begin(), v.end());
+
+  // No phantom or duplicate removals.
+  for (std::uint64_t k : all_removed) {
+    ASSERT_EQ(all_inserted.count(k), 1u) << TypeParam::name() << " key " << k;
+    ASSERT_EQ(all_removed.count(k), 1u) << TypeParam::name() << " key " << k;
+  }
+  // Remaining queue contents == inserted \ removed.
+  std::multiset<std::uint64_t> expected_left = all_inserted;
+  for (std::uint64_t k : all_removed) expected_left.erase(k);
+  std::multiset<std::uint64_t> actual_left;
+  while (auto k = pq.remove_min()) actual_left.insert(*k);
+  EXPECT_EQ(actual_left, expected_left) << TypeParam::name();
+  EXPECT_TRUE(pq.check_invariants());
+  mem::EbrDomain::instance().drain();
+}
+
+TYPED_TEST(EnginePqTest, DrainReturnsSortedKeys) {
+  Pq pq;
+  auto engine = EngineMaker<TypeParam>::make(pq, pq_config());
+  adapters::PqInsertOp<std::uint64_t> insert;
+  adapters::PqRemoveMinOp<std::uint64_t> remove_min;
+  util::Xoshiro256 rng(5);
+  std::vector<std::uint64_t> keys;
+  for (int i = 0; i < 200; ++i) {
+    const auto k = rng.next();
+    keys.push_back(k);
+    insert.set(k);
+    engine->execute(insert);
+  }
+  std::sort(keys.begin(), keys.end());
+  // Single-threaded drain must return keys in ascending order.
+  for (std::uint64_t expected : keys) {
+    engine->execute(remove_min);
+    ASSERT_TRUE(remove_min.result().has_value());
+    ASSERT_EQ(*remove_min.result(), expected) << TypeParam::name();
+  }
+  engine->execute(remove_min);
+  EXPECT_FALSE(remove_min.result().has_value());
+  mem::EbrDomain::instance().drain();
+}
+
+}  // namespace
+}  // namespace hcf::test

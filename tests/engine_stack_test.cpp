@@ -1,0 +1,132 @@
+// Concurrent correctness of every engine over the stack, plus the
+// elimination property: Push/Pop pairs cancelled by a combiner must still
+// produce a valid linearization (every popped value was pushed exactly
+// once; pushed = popped + remaining).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "adapters/stack_ops.hpp"
+#include "engine_test_util.hpp"
+#include "mem/ebr.hpp"
+#include "util/rng.hpp"
+
+namespace hcf::test {
+namespace {
+
+using St = ds::Stack<std::uint64_t>;
+
+constexpr int kThreads = 4;
+constexpr int kOpsPerThread = 8000;
+
+HcfConfig stack_config() { return {adapters::stack_paper_config(), 1}; }
+
+template <typename Engine>
+class EngineStackTest : public ::testing::Test {};
+
+using EngineTypes =
+    ::testing::Types<Engines<St>::Lock, Engines<St>::Tle, Engines<St>::Scm,
+                     Engines<St>::Fc, Engines<St>::TleFc, Engines<St>::Hcf,
+                     Engines<St>::Hcf1C>;
+TYPED_TEST_SUITE(EngineStackTest, EngineTypes);
+
+TYPED_TEST(EngineStackTest, PushedEqualsPoppedPlusRemaining) {
+  St stack;
+  auto engine = EngineMaker<TypeParam>::make(stack, stack_config());
+
+  std::vector<std::vector<std::uint64_t>> pushed(kThreads);
+  std::vector<std::vector<std::uint64_t>> popped(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      util::Xoshiro256 rng(700 + t);
+      adapters::StackPushOp<std::uint64_t> push;
+      adapters::StackPopOp<std::uint64_t> pop;
+      std::uint64_t seq = 0;
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        if (rng.next_bounded(100) < 55) {
+          const std::uint64_t value =
+              (static_cast<std::uint64_t>(t) << 32) | seq++;
+          push.set(value);
+          engine->execute(push);
+          pushed[t].push_back(value);
+        } else {
+          engine->execute(pop);
+          if (pop.result().has_value()) popped[t].push_back(*pop.result());
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  std::multiset<std::uint64_t> all_pushed, all_popped;
+  for (const auto& v : pushed) all_pushed.insert(v.begin(), v.end());
+  for (const auto& v : popped) all_popped.insert(v.begin(), v.end());
+  for (std::uint64_t v : all_popped) {
+    ASSERT_EQ(all_pushed.count(v), 1u) << TypeParam::name();
+    ASSERT_EQ(all_popped.count(v), 1u) << TypeParam::name();
+  }
+  std::multiset<std::uint64_t> expected_left = all_pushed;
+  for (std::uint64_t v : all_popped) expected_left.erase(v);
+  std::multiset<std::uint64_t> actual_left;
+  stack.for_each([&](std::uint64_t v) { actual_left.insert(v); });
+  EXPECT_EQ(actual_left, expected_left) << TypeParam::name();
+  mem::EbrDomain::instance().drain();
+}
+
+TYPED_TEST(EngineStackTest, SingleThreadLifo) {
+  St stack;
+  auto engine = EngineMaker<TypeParam>::make(stack, stack_config());
+  adapters::StackPushOp<std::uint64_t> push;
+  adapters::StackPopOp<std::uint64_t> pop;
+  for (std::uint64_t v = 0; v < 50; ++v) {
+    push.set(v);
+    engine->execute(push);
+  }
+  for (std::uint64_t v = 50; v-- > 0;) {
+    engine->execute(pop);
+    ASSERT_EQ(pop.result(), v) << TypeParam::name();
+  }
+  engine->execute(pop);
+  EXPECT_FALSE(pop.result().has_value());
+  mem::EbrDomain::instance().drain();
+}
+
+TEST(StackElimination, CombinerCancelsPushPopPairs) {
+  // Force combining (FC engine selects everything); under a mixed
+  // push/pop workload the elimination counter must rise, and accounting
+  // must stay exact.
+  St stack;
+  for (std::uint64_t v = 1000; v < 1200; ++v) stack.push(v);
+  core::FcEngine<St> engine(stack);
+  using Base = adapters::StackOpBase<std::uint64_t>;
+  Base::reset_eliminations();
+
+  std::vector<std::thread> threads;
+  std::atomic<std::uint64_t> pop_hits{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      util::Xoshiro256 rng(900 + t);
+      adapters::StackPushOp<std::uint64_t> push;
+      adapters::StackPopOp<std::uint64_t> pop;
+      for (int i = 0; i < 5000; ++i) {
+        if (rng.next_bounded(2) == 0) {
+          push.set(rng.next());
+          engine.execute(push);
+        } else {
+          engine.execute(pop);
+          if (pop.result().has_value()) pop_hits.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_GT(Base::eliminations(), 0u);
+  EXPECT_GT(pop_hits.load(), 0u);
+  mem::EbrDomain::instance().drain();
+}
+
+}  // namespace
+}  // namespace hcf::test

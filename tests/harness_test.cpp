@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "harness/driver.hpp"
+#include "harness/issuers.hpp"
+#include "harness/workload.hpp"
+#include "mem/ebr.hpp"
+
+namespace hcf::harness {
+namespace {
+
+using Table = ds::HashTable<std::uint64_t, std::uint64_t>;
+
+TEST(Workload, ReadsSplitsRemainderEvenly) {
+  const auto w = WorkloadSpec::reads(40, 1000);
+  EXPECT_EQ(w.find_pct, 40);
+  EXPECT_EQ(w.insert_pct, 30);
+  EXPECT_EQ(w.remove_pct, 30);
+  EXPECT_EQ(w.prefill, 500u);
+
+  const auto w2 = WorkloadSpec::reads(85, 100);
+  EXPECT_EQ(w2.find_pct + w2.insert_pct + w2.remove_pct, 100);
+}
+
+TEST(Workload, LabelMentionsZipf) {
+  const auto w = WorkloadSpec::reads(0, 1024, KeyDist::Zipfian, 0.9);
+  EXPECT_NE(w.label().find("zipf"), std::string::npos);
+  const auto u = WorkloadSpec::reads(0, 1024);
+  EXPECT_EQ(u.label().find("zipf"), std::string::npos);
+}
+
+TEST(KeyGen, UniformWithinRange) {
+  WorkloadSpec spec;
+  spec.key_range = 77;
+  KeyGenerator gen(spec, 1);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(gen.next_key(), 77u);
+}
+
+TEST(KeyGen, ZipfianFavorsLowKeys) {
+  auto spec = WorkloadSpec::reads(100, 1024, KeyDist::Zipfian, 0.9);
+  KeyGenerator gen(spec, 2);
+  std::uint64_t low = 0, total = 20000;
+  for (std::uint64_t i = 0; i < total; ++i) {
+    if (gen.next_key() < 102) ++low;  // lowest 10% of the range
+  }
+  EXPECT_GT(low, total / 2);  // >50% of draws hit the lowest 10%
+}
+
+TEST(Driver, MeasuresThroughputAndStats) {
+  Table table(1024);
+  const auto spec = WorkloadSpec::reads(40, 1024);
+  for (std::uint64_t k = 0; k < spec.prefill; ++k) table.insert(k, k * 2 + 1);
+  core::HcfEngine<Table> engine(table, adapters::ht_paper_config(),
+                                adapters::kHtNumArrays);
+
+  DriverOptions options;
+  options.warmup = std::chrono::milliseconds(20);
+  options.duration = std::chrono::milliseconds(100);
+  using Engine = core::HcfEngine<Table>;
+  const RunResult result = run_timed(
+      engine, 2,
+      [&](std::size_t t) { return HtWorker<Engine>(engine, spec, 100 + t); },
+      options);
+
+  EXPECT_GT(result.total_ops, 0u);
+  EXPECT_GT(result.throughput_mops(), 0.0);
+  // Generous tolerance: sleep_for can overshoot when cores are busy.
+  EXPECT_GE(result.duration_s, 0.1);
+  EXPECT_LT(result.duration_s, 0.5);
+  // Completions recorded during the window never exceed ops counted
+  // (counting starts strictly after the stats reset).
+  EXPECT_GE(result.engine.total(), result.total_ops);
+  EXPECT_TRUE(table.check_invariants());
+  mem::EbrDomain::instance().drain();
+}
+
+TEST(Driver, LockEngineReportsAcquisitions) {
+  Table table(128);
+  core::LockEngine<Table> engine(table);
+  const auto spec = WorkloadSpec::reads(50, 128);
+  DriverOptions options;
+  options.warmup = std::chrono::milliseconds(5);
+  options.duration = std::chrono::milliseconds(50);
+  using Engine = core::LockEngine<Table>;
+  const RunResult result = run_timed(
+      engine, 2,
+      [&](std::size_t t) { return HtWorker<Engine>(engine, spec, t); },
+      options);
+  // Lock engine: every op acquires the lock.
+  EXPECT_GT(result.lock_acquisitions, 0u);
+  EXPECT_GE(result.lock_rate_per_kop(), 900.0);
+  mem::EbrDomain::instance().drain();
+}
+
+TEST(Driver, TleOnReadOnlyWorkloadRarelyLocks) {
+  Table table(4096);
+  for (std::uint64_t k = 0; k < 2048; ++k) table.insert(k, k * 2 + 1);
+  core::TleEngine<Table> engine(table);
+  const auto spec = WorkloadSpec::reads(100, 4096);
+  DriverOptions options;
+  options.warmup = std::chrono::milliseconds(5);
+  options.duration = std::chrono::milliseconds(100);
+  using Engine = core::TleEngine<Table>;
+  const RunResult result = run_timed(
+      engine, 2,
+      [&](std::size_t t) { return HtWorker<Engine>(engine, spec, t); },
+      options);
+  // Read-only: effectively everything commits speculatively.
+  EXPECT_LT(result.lock_rate_per_kop(), 5.0);
+  EXPECT_GT(result.engine.phase_total(core::Phase::Private),
+            result.engine.total() * 95 / 100);
+  mem::EbrDomain::instance().drain();
+}
+
+TEST(Driver, LatencyPercentilesWhenEnabled) {
+  Table table(256);
+  core::TleEngine<Table> engine(table);
+  const auto spec = WorkloadSpec::reads(100, 256);
+  DriverOptions options;
+  options.warmup = std::chrono::milliseconds(5);
+  options.duration = std::chrono::milliseconds(60);
+  options.measure_latency = true;
+  using Engine = core::TleEngine<Table>;
+  const RunResult result = run_timed(
+      engine, 2,
+      [&](std::size_t t) { return HtWorker<Engine>(engine, spec, t); },
+      options);
+  EXPECT_GT(result.latency_p50_ns, 0u);
+  EXPECT_GE(result.latency_p99_ns, result.latency_p50_ns);
+  // Sub-second operations: p99 below 100ms on any sane run.
+  EXPECT_LT(result.latency_p99_ns, 100'000'000u);
+  mem::EbrDomain::instance().drain();
+}
+
+TEST(Driver, LatencyZeroWhenDisabled) {
+  Table table(64);
+  core::LockEngine<Table> engine(table);
+  const auto spec = WorkloadSpec::reads(100, 64);
+  DriverOptions options;
+  options.warmup = std::chrono::milliseconds(2);
+  options.duration = std::chrono::milliseconds(20);
+  using Engine = core::LockEngine<Table>;
+  const RunResult result = run_timed(
+      engine, 1,
+      [&](std::size_t t) { return HtWorker<Engine>(engine, spec, t); },
+      options);
+  EXPECT_EQ(result.latency_p50_ns, 0u);
+  EXPECT_EQ(result.latency_p99_ns, 0u);
+}
+
+TEST(Driver, YieldEveryOpStillCorrect) {
+  Table table(64);
+  core::HcfEngine<Table> engine(table, adapters::ht_paper_config(),
+                                adapters::kHtNumArrays);
+  const auto spec = WorkloadSpec::reads(0, 64);
+  DriverOptions options;
+  options.warmup = std::chrono::milliseconds(2);
+  options.duration = std::chrono::milliseconds(50);
+  options.yield_every_op = true;
+  using Engine = core::HcfEngine<Table>;
+  const RunResult result = run_timed(
+      engine, 4,
+      [&](std::size_t t) { return HtWorker<Engine>(engine, spec, t); },
+      options);
+  EXPECT_GT(result.total_ops, 0u);
+  EXPECT_TRUE(table.check_invariants());
+  mem::EbrDomain::instance().drain();
+}
+
+TEST(RunResult, DerivedMetrics) {
+  RunResult r;
+  r.total_ops = 2000;
+  r.duration_s = 2.0;
+  r.lock_acquisitions = 100;
+  EXPECT_DOUBLE_EQ(r.throughput_mops(), 0.001);
+  EXPECT_DOUBLE_EQ(r.lock_rate_per_kop(), 50.0);
+  RunResult zero;
+  EXPECT_DOUBLE_EQ(zero.throughput_mops(), 0.0);
+  EXPECT_DOUBLE_EQ(zero.lock_rate_per_kop(), 0.0);
+}
+
+}  // namespace
+}  // namespace hcf::harness

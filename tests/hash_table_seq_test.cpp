@@ -1,0 +1,183 @@
+// Sequential (single-threaded) correctness of the hash table, randomized
+// against std::unordered_map as the reference model.
+#include "ds/hash_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/ebr.hpp"
+#include "util/rng.hpp"
+
+namespace hcf::ds {
+namespace {
+
+using Table = HashTable<std::uint64_t, std::uint64_t>;
+
+TEST(HashTableSeq, InsertFindRemoveBasics) {
+  Table t(16);
+  EXPECT_FALSE(t.find(1).has_value());
+  EXPECT_TRUE(t.insert(1, 10));
+  EXPECT_EQ(t.find(1), 10u);
+  EXPECT_FALSE(t.insert(1, 11));  // update, not insert
+  EXPECT_EQ(t.find(1), 11u);
+  EXPECT_TRUE(t.remove(1));
+  EXPECT_FALSE(t.remove(1));
+  EXPECT_FALSE(t.find(1).has_value());
+  EXPECT_TRUE(t.check_invariants());
+}
+
+TEST(HashTableSeq, BucketCountRoundsUpToPowerOfTwo) {
+  Table t(1000);
+  EXPECT_EQ(t.bucket_count(), 1024u);
+  Table t2(1);
+  EXPECT_EQ(t2.bucket_count(), 1u);
+}
+
+TEST(HashTableSeq, ManyKeysInFewBucketsChainCorrectly) {
+  Table t(2);  // force long chains
+  for (std::uint64_t k = 0; k < 200; ++k) EXPECT_TRUE(t.insert(k, k * 3));
+  for (std::uint64_t k = 0; k < 200; ++k) EXPECT_EQ(t.find(k), k * 3);
+  EXPECT_EQ(t.size_slow(), 200u);
+  EXPECT_TRUE(t.check_invariants());
+  for (std::uint64_t k = 0; k < 200; k += 2) EXPECT_TRUE(t.remove(k));
+  EXPECT_EQ(t.size_slow(), 100u);
+  for (std::uint64_t k = 0; k < 200; ++k) {
+    EXPECT_EQ(t.find(k).has_value(), k % 2 == 1);
+  }
+  EXPECT_TRUE(t.check_invariants());
+}
+
+TEST(HashTableSeq, TableListOrderIsMostRecentFirst) {
+  Table t(16);
+  t.insert(1, 1);
+  t.insert(2, 2);
+  t.insert(3, 3);
+  std::vector<std::uint64_t> keys;
+  t.for_each([&](std::uint64_t k, std::uint64_t) { keys.push_back(k); });
+  EXPECT_EQ(keys, (std::vector<std::uint64_t>{3, 2, 1}));
+  t.remove(2);  // middle removal must keep the list linked
+  keys.clear();
+  t.for_each([&](std::uint64_t k, std::uint64_t) { keys.push_back(k); });
+  EXPECT_EQ(keys, (std::vector<std::uint64_t>{3, 1}));
+  EXPECT_TRUE(t.check_invariants());
+}
+
+TEST(HashTableSeq, InsertNMatchesIndividualInserts) {
+  Table batch(64), individual(64);
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> kvs;
+  for (std::uint64_t i = 0; i < 20; ++i) kvs.push_back({i % 12, i * 100});
+  auto batch_results = std::make_unique<bool[]>(kvs.size());
+  // Reference: individual inserts.
+  std::vector<bool> individual_results;
+  for (auto [k, v] : kvs) individual_results.push_back(individual.insert(k, v));
+
+  // insert_n applied in chunks of 5.
+  for (std::size_t i = 0; i < kvs.size(); i += 5) {
+    const std::size_t n = std::min<std::size_t>(5, kvs.size() - i);
+    batch.insert_n(std::span<const std::pair<std::uint64_t, std::uint64_t>>(
+                       kvs.data() + i, n),
+                   std::span<bool>(batch_results.get() + i, n));
+  }
+  for (std::size_t i = 0; i < kvs.size(); ++i) {
+    EXPECT_EQ(batch_results[i], individual_results[i]) << i;
+  }
+  EXPECT_EQ(batch.size_slow(), individual.size_slow());
+  for (std::uint64_t k = 0; k < 12; ++k) {
+    EXPECT_EQ(batch.find(k), individual.find(k)) << k;
+  }
+  EXPECT_TRUE(batch.check_invariants());
+}
+
+TEST(HashTableSeq, InsertNWithDuplicateKeysInOneBatch) {
+  Table t(16);
+  const std::pair<std::uint64_t, std::uint64_t> kvs[] = {
+      {7, 1}, {7, 2}, {8, 3}, {7, 4}};
+  bool results[4];
+  t.insert_n(kvs, results);
+  EXPECT_TRUE(results[0]);    // first 7 inserts
+  EXPECT_FALSE(results[1]);   // second 7 updates
+  EXPECT_TRUE(results[2]);    // 8 inserts
+  EXPECT_FALSE(results[3]);   // third 7 updates
+  EXPECT_EQ(t.find(7), 4u);
+  EXPECT_EQ(t.size_slow(), 2u);
+  EXPECT_TRUE(t.check_invariants());
+}
+
+TEST(HashTableSeq, InsertNEmptyBatchIsNoop) {
+  Table t(16);
+  t.insert(1, 1);
+  t.insert_n({}, {});
+  EXPECT_EQ(t.size_slow(), 1u);
+  EXPECT_TRUE(t.check_invariants());
+}
+
+TEST(HashTableSeq, RandomizedAgainstUnorderedMap) {
+  Table t(256);
+  std::unordered_map<std::uint64_t, std::uint64_t> ref;
+  util::Xoshiro256 rng(2024);
+  for (int i = 0; i < 50000; ++i) {
+    const std::uint64_t key = rng.next_bounded(512);
+    switch (rng.next_bounded(3)) {
+      case 0: {  // insert
+        const std::uint64_t value = rng.next();
+        const bool added = t.insert(key, value);
+        const bool ref_added = ref.find(key) == ref.end();
+        ref[key] = value;
+        ASSERT_EQ(added, ref_added) << "iter " << i;
+        break;
+      }
+      case 1: {  // remove
+        const bool removed = t.remove(key);
+        ASSERT_EQ(removed, ref.erase(key) > 0) << "iter " << i;
+        break;
+      }
+      default: {  // find
+        const auto found = t.find(key);
+        const auto it = ref.find(key);
+        if (it == ref.end()) {
+          ASSERT_FALSE(found.has_value()) << "iter " << i;
+        } else {
+          ASSERT_EQ(found, it->second) << "iter " << i;
+        }
+      }
+    }
+  }
+  EXPECT_EQ(t.size_slow(), ref.size());
+  EXPECT_TRUE(t.check_invariants());
+  mem::EbrDomain::instance().drain();
+}
+
+TEST(HashTableSeq, TransactionalOpsRollBackCleanly) {
+  // The same sequential code inside an aborted transaction must leave no
+  // trace — including the allocation (freed via the alloc log).
+  Table t(16);
+  t.insert(1, 1);
+  htm::attempt([&] {
+    t.insert(2, 2);
+    t.remove(1);
+    htm::abort_tx();
+  });
+  EXPECT_EQ(t.find(1), 1u);
+  EXPECT_FALSE(t.find(2).has_value());
+  EXPECT_EQ(t.size_slow(), 1u);
+  EXPECT_TRUE(t.check_invariants());
+}
+
+TEST(HashTableSeq, TransactionalOpsCommitVisibly) {
+  Table t(16);
+  ASSERT_TRUE(htm::attempt([&] {
+    t.insert(5, 50);
+    t.insert(6, 60);
+    t.remove(5);
+  }));
+  EXPECT_FALSE(t.find(5).has_value());
+  EXPECT_EQ(t.find(6), 60u);
+  EXPECT_TRUE(t.check_invariants());
+  mem::EbrDomain::instance().drain();
+}
+
+}  // namespace
+}  // namespace hcf::ds

@@ -1,0 +1,97 @@
+#include "util/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace hcf::util {
+namespace {
+
+TEST(Histogram, BucketIndexMonotone) {
+  int prev = -1;
+  for (std::uint64_t v :
+       {0ull, 1ull, 15ull, 16ull, 17ull, 100ull, 1000ull, 1ull << 20,
+        (1ull << 20) + 12345, 1ull << 35}) {
+    const int idx = LatencyHistogram::bucket_index(v);
+    EXPECT_GE(idx, prev) << v;
+    EXPECT_LT(idx, LatencyHistogram::kTotalBuckets);
+    prev = idx;
+  }
+}
+
+TEST(Histogram, UpperBoundContainsValue) {
+  // Within the covered range (< 2^38 ns ~ 4.5 minutes) the bucket's upper
+  // bound contains the recorded value; larger values saturate into the
+  // last bucket (checked separately below).
+  Xoshiro256 rng(4);
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t v = rng.next() >> (26 + rng.next() % 38);
+    const int idx = LatencyHistogram::bucket_index(v);
+    EXPECT_GE(LatencyHistogram::bucket_upper_bound(idx), v)
+        << "value " << v << " idx " << idx;
+  }
+}
+
+TEST(Histogram, OutOfRangeValuesSaturate) {
+  const int last = LatencyHistogram::kTotalBuckets - 1;
+  EXPECT_EQ(LatencyHistogram::bucket_index(~0ull), last);
+  EXPECT_EQ(LatencyHistogram::bucket_index(1ull << 60), last);
+}
+
+TEST(Histogram, SmallValuesExact) {
+  auto h = std::make_unique<LatencyHistogram>();
+  for (std::uint64_t v = 0; v < 10; ++v) h->record(v);
+  EXPECT_EQ(h->total(), 10u);
+  EXPECT_EQ(h->percentile(0.1), 0u);
+  EXPECT_EQ(h->percentile(1.0), 9u);
+}
+
+TEST(Histogram, PercentilesOrdered) {
+  auto h = std::make_unique<LatencyHistogram>();
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 100000; ++i) h->record(rng.next_bounded(1 << 20));
+  const auto p50 = h->percentile(0.50);
+  const auto p90 = h->percentile(0.90);
+  const auto p99 = h->percentile(0.99);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  // Uniform distribution: medians near the middle, 3% bucket tolerance.
+  EXPECT_NEAR(static_cast<double>(p50), 0.5 * (1 << 20), 0.08 * (1 << 20));
+}
+
+TEST(Histogram, TailCaptured) {
+  auto h = std::make_unique<LatencyHistogram>();
+  for (int i = 0; i < 999; ++i) h->record(100);
+  h->record(1 << 22);  // one 4ms outlier
+  EXPECT_LE(h->percentile(0.99), 200u);
+  EXPECT_GE(h->percentile(0.9999), 1u << 22);
+}
+
+TEST(Histogram, ResetClears) {
+  auto h = std::make_unique<LatencyHistogram>();
+  h->record(5);
+  h->reset();
+  EXPECT_EQ(h->total(), 0u);
+  EXPECT_EQ(h->percentile(0.5), 0u);
+}
+
+TEST(Histogram, ConcurrentRecording) {
+  auto h = std::make_unique<LatencyHistogram>();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      Xoshiro256 rng(t);
+      for (int i = 0; i < 50000; ++i) h->record(rng.next_bounded(10000));
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(h->total(), 200000u);
+}
+
+}  // namespace
+}  // namespace hcf::util

@@ -1,0 +1,251 @@
+// Single-threaded semantics of the simulated HTM: visibility, abort
+// discarding, nesting, capacity, allocation logs, statistics.
+#include "sim_htm/htm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+
+#include "mem/ebr.hpp"
+#include "sim_htm/txcell.hpp"
+
+namespace hcf::htm {
+namespace {
+
+TEST(HtmBasic, ReadWriteOutsideTxnPassThrough) {
+  std::uint64_t x = 5;
+  EXPECT_EQ(read(&x), 5u);
+  write(&x, std::uint64_t{9});
+  EXPECT_EQ(x, 9u);
+  EXPECT_FALSE(in_txn());
+}
+
+TEST(HtmBasic, CommittedWritesVisible) {
+  std::uint64_t x = 0, y = 0;
+  const bool ok = attempt([&] {
+    write(&x, std::uint64_t{1});
+    write(&y, std::uint64_t{2});
+    // Lazy versioning: memory untouched until commit.
+    EXPECT_EQ(std::atomic_ref<std::uint64_t>(x).load(), 0u);
+  });
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(x, 1u);
+  EXPECT_EQ(y, 2u);
+}
+
+TEST(HtmBasic, ExplicitAbortDiscardsWrites) {
+  std::uint64_t x = 7;
+  const bool ok = attempt([&] {
+    write(&x, std::uint64_t{100});
+    abort_tx();
+  });
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(x, 7u);
+  EXPECT_EQ(last_abort_code(), AbortCode::Explicit);
+}
+
+TEST(HtmBasic, AbortWithCustomCode) {
+  std::uint64_t x = 0;
+  attempt([&] {
+    (void)read(&x);
+    abort_tx(AbortCode::LockBusy);
+  });
+  EXPECT_EQ(last_abort_code(), AbortCode::LockBusy);
+}
+
+TEST(HtmBasic, ReadOwnWrite) {
+  std::uint64_t x = 1;
+  attempt([&] {
+    write(&x, std::uint64_t{42});
+    EXPECT_EQ(read(&x), 42u);
+    write(&x, std::uint64_t{43});
+    EXPECT_EQ(read(&x), 43u);
+  });
+  EXPECT_EQ(x, 43u);
+}
+
+TEST(HtmBasic, ExceptionAbortsAndPropagates) {
+  std::uint64_t x = 3;
+  EXPECT_THROW(
+      attempt([&] {
+        write(&x, std::uint64_t{99});
+        throw std::runtime_error("boom");
+      }),
+      std::runtime_error);
+  EXPECT_EQ(x, 3u);
+  EXPECT_FALSE(in_txn());
+}
+
+TEST(HtmBasic, FlatNestingCommitsWithOuter) {
+  std::uint64_t x = 0;
+  const bool ok = attempt([&] {
+    write(&x, std::uint64_t{1});
+    const bool inner = attempt([&] { write(&x, std::uint64_t{2}); });
+    EXPECT_TRUE(inner);        // subsumed, reports success
+    EXPECT_TRUE(in_txn());     // still in the outer txn
+    EXPECT_EQ(read(&x), 2u);   // inner write visible to outer
+  });
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(x, 2u);
+}
+
+TEST(HtmBasic, NestedAbortUnwindsToOuter) {
+  std::uint64_t x = 5;
+  const bool ok = attempt([&] {
+    write(&x, std::uint64_t{6});
+    attempt([&] { abort_tx(); });  // throws through both levels
+    ADD_FAILURE() << "unreachable";
+  });
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(x, 5u);
+}
+
+TEST(HtmBasic, ReadCapacityAbort) {
+  ScopedCapacity caps(8, 1024);
+  std::uint64_t data[64] = {};
+  const bool ok = attempt([&] {
+    std::uint64_t sum = 0;
+    for (auto& d : data) sum += read(&d);
+    (void)sum;
+  });
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(last_abort_code(), AbortCode::Capacity);
+}
+
+TEST(HtmBasic, WriteCapacityAbort) {
+  ScopedCapacity caps(1024, 8);
+  std::uint64_t data[64] = {};
+  const bool ok = attempt([&] {
+    for (std::uint64_t i = 0; i < 64; ++i) write(&data[i], i);
+  });
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(last_abort_code(), AbortCode::Capacity);
+}
+
+TEST(HtmBasic, RepeatedReadsOfSameWordDontExhaustCapacity) {
+  ScopedCapacity caps(8, 8);
+  std::uint64_t x = 1;
+  const bool ok = attempt([&] {
+    std::uint64_t sum = 0;
+    for (int i = 0; i < 1000; ++i) sum += read(&x);
+    EXPECT_EQ(sum, 1000u);
+  });
+  EXPECT_TRUE(ok);  // dedup of consecutive identical reads
+}
+
+TEST(HtmBasic, MixedSizesOnDistinctAddresses) {
+  struct Fields {
+    std::uint8_t a = 0;
+    std::uint8_t pad_a[7];
+    std::uint16_t b = 0;
+    std::uint16_t pad_b[3];
+    std::uint32_t c = 0;
+    std::uint32_t pad_c;
+    std::uint64_t d = 0;
+  } f;
+  attempt([&] {
+    write(&f.a, std::uint8_t{1});
+    write(&f.b, std::uint16_t{2});
+    write(&f.c, std::uint32_t{3});
+    write(&f.d, std::uint64_t{4});
+    EXPECT_EQ(read(&f.a), 1);
+    EXPECT_EQ(read(&f.b), 2);
+    EXPECT_EQ(read(&f.c), 3u);
+    EXPECT_EQ(read(&f.d), 4u);
+  });
+  EXPECT_EQ(f.a, 1);
+  EXPECT_EQ(f.b, 2);
+  EXPECT_EQ(f.c, 3u);
+  EXPECT_EQ(f.d, 4u);
+}
+
+TEST(HtmBasic, PointerValues) {
+  int target = 9;
+  int* p = nullptr;
+  attempt([&] { write(&p, &target); });
+  EXPECT_EQ(p, &target);
+  attempt([&] { EXPECT_EQ(read(&p), &target); });
+}
+
+struct AllocTracker {
+  static inline std::atomic<int> live{0};
+  AllocTracker() { live.fetch_add(1); }
+  ~AllocTracker() { live.fetch_sub(1); }
+};
+
+TEST(HtmBasic, MakeFreedOnAbort) {
+  AllocTracker::live = 0;
+  attempt([&] {
+    auto* p = make<AllocTracker>();
+    (void)p;
+    EXPECT_EQ(AllocTracker::live.load(), 1);
+    abort_tx();
+  });
+  EXPECT_EQ(AllocTracker::live.load(), 0);
+}
+
+TEST(HtmBasic, MakeSurvivesCommit) {
+  AllocTracker::live = 0;
+  AllocTracker* p = nullptr;
+  attempt([&] { p = make<AllocTracker>(); });
+  EXPECT_EQ(AllocTracker::live.load(), 1);
+  delete p;
+}
+
+TEST(HtmBasic, RetireDeferredUntilCommitThenEbr) {
+  AllocTracker::live = 0;
+  auto* p = new AllocTracker();
+  // Abort: retire must NOT free.
+  attempt([&] {
+    retire(p);
+    abort_tx();
+  });
+  EXPECT_EQ(AllocTracker::live.load(), 1);
+  // Commit: retire hands off to EBR; drain reclaims.
+  attempt([&] { retire(p); });
+  mem::EbrDomain::instance().drain();
+  EXPECT_EQ(AllocTracker::live.load(), 0);
+}
+
+TEST(HtmBasic, RetireOutsideTxnGoesStraightToEbr) {
+  AllocTracker::live = 0;
+  retire(new AllocTracker());
+  mem::EbrDomain::instance().drain();
+  EXPECT_EQ(AllocTracker::live.load(), 0);
+}
+
+TEST(HtmBasic, StatsCountCommitsAndAborts) {
+  stats().reset();
+  std::uint64_t x = 0;
+  attempt([&] { write(&x, std::uint64_t{1}); });
+  attempt([&] { (void)read(&x); });  // read-only
+  attempt([&] { abort_tx(); });
+  const auto snap = StatsSnapshot::capture();
+  EXPECT_EQ(snap.starts, 3u);
+  EXPECT_EQ(snap.commits, 2u);
+  EXPECT_EQ(snap.read_only_commits, 1u);
+  EXPECT_EQ(snap.aborts[static_cast<int>(AbortCode::Explicit)], 1u);
+}
+
+TEST(HtmBasic, TxFieldSugar) {
+  TxField<std::uint64_t> f{10};
+  EXPECT_EQ(f.get(), 10u);
+  attempt([&] {
+    f = f + 5;
+    EXPECT_EQ(static_cast<std::uint64_t>(f), 15u);
+  });
+  EXPECT_EQ(f.get(), 15u);
+  f.init(3);
+  EXPECT_EQ(f.get(), 3u);
+}
+
+TEST(HtmBasic, TxFieldCopyCopiesValue) {
+  TxField<int> a{7};
+  TxField<int> b{0};
+  b = a;
+  EXPECT_EQ(b.get(), 7);
+}
+
+}  // namespace
+}  // namespace hcf::htm

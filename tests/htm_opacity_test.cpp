@@ -1,0 +1,223 @@
+// Opacity: transactions must never act on mutually inconsistent state,
+// even when they are doomed to abort — the property that makes it safe to
+// run arbitrary sequential code speculatively (no zombie crashes/loops).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "mem/ebr.hpp"
+#include "sim_htm/htm.hpp"
+#include "sim_htm/txcell.hpp"
+#include "util/backoff.hpp"
+
+namespace hcf::htm {
+namespace {
+
+TEST(HtmOpacity, InvariantNeverObservedBroken) {
+  // Writers atomically move amounts between x and y keeping x + y == 0.
+  // Readers read both inside one transaction; any observed x + y != 0 is
+  // an opacity violation (the transaction would later abort, but it must
+  // not have *seen* the broken invariant).
+  alignas(64) std::int64_t x = 0;
+  alignas(64) std::int64_t y = 0;
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> violations{0};
+  std::atomic<std::uint64_t> reads_ok{0};
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 2; ++w) {
+    writers.emplace_back([&, w] {
+      util::Xoshiro256 rng(1000 + w);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto delta = static_cast<std::int64_t>(rng.next_bounded(100));
+        attempt([&] {
+          write(&x, read(&x) + delta);
+          write(&y, read(&y) - delta);
+        });
+      }
+    });
+  }
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        attempt([&] {
+          const std::int64_t vx = read(&x);
+          const std::int64_t vy = read(&y);
+          // Inside the transaction: every pair of validated reads must be
+          // consistent, committed or not.
+          if (vx + vy != 0) violations.fetch_add(1);
+          reads_ok.fetch_add(1);
+        });
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  stop = true;
+  for (auto& t : writers) t.join();
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(violations.load(), 0u);
+  EXPECT_GT(reads_ok.load(), 0u);
+  EXPECT_EQ(x + y, 0);
+}
+
+TEST(HtmOpacity, PointerChaseNeverDereferencesTornState) {
+  // A two-node ring where writers swap which node is "current" and update
+  // a generation stamp in both the pointer cell and the node. A reader
+  // that observes node->stamp != expected stamp for the pointer it read
+  // has seen an inconsistent snapshot.
+  struct Node {
+    TxField<std::uint64_t> stamp{0};
+  };
+  Node nodes[2];
+  alignas(64) Node* current = &nodes[0];
+  alignas(64) std::uint64_t generation = 0;
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> violations{0};
+
+  std::thread writer([&] {
+    std::uint64_t gen = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      ++gen;
+      Node* next = &nodes[gen % 2];
+      const std::uint64_t g = gen;
+      attempt([&] {
+        next->stamp = g;
+        write(&generation, g);
+        write(&current, next);
+      });
+    }
+  });
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        attempt([&] {
+          const std::uint64_t g = read(&generation);
+          Node* n = read(&current);
+          const std::uint64_t s = n->stamp.get();
+          if (s != g) violations.fetch_add(1);
+        });
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  stop = true;
+  writer.join();
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(violations.load(), 0u);
+}
+
+TEST(HtmOpacity, TraversalOverRetiringNodesIsSafe) {
+  // Readers traverse a transactional linked list while a writer keeps
+  // replacing nodes (retiring the old ones). EBR + opacity must make the
+  // traversal safe and every observed list consistent: the list always
+  // holds exactly kLen nodes with values summing to a multiple of kLen.
+  struct Node {
+    TxField<std::uint64_t> value{0};
+    TxField<Node*> next{nullptr};
+  };
+  constexpr int kLen = 8;
+  TxField<Node*> head{nullptr};
+  // Build initial list: value v in every node.
+  {
+    Node* first = nullptr;
+    for (int i = 0; i < kLen; ++i) {
+      auto* n = new Node;
+      n->value.init(0);
+      n->next.init(first);
+      first = n;
+    }
+    head.init(first);
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> violations{0};
+
+  std::thread writer([&] {
+    std::uint64_t round = 1;
+    while (!stop.load(std::memory_order_relaxed)) {
+      // Rebuild the whole list with the new round value in one txn.
+      const std::uint64_t v = round++;
+      attempt([&] {
+        // Retire old nodes, link fresh ones.
+        Node* old = head.get();
+        Node* fresh = nullptr;
+        for (int i = 0; i < kLen; ++i) {
+          auto* n = make<Node>();
+          n->value.init(v);
+          n->next.init(fresh);
+          fresh = n;
+        }
+        head = fresh;
+        while (old != nullptr) {
+          Node* nx = old->next.get();
+          retire(old);
+          old = nx;
+        }
+      });
+    }
+  });
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        mem::Guard guard;  // operations hold an EBR guard, as engines do
+        attempt([&] {
+          std::uint64_t sum = 0;
+          int count = 0;
+          for (Node* n = head.get(); n != nullptr; n = n->next.get()) {
+            sum += n->value.get();
+            if (++count > kLen) break;  // structurally impossible if opaque
+          }
+          if (count != kLen || sum % kLen != 0) violations.fetch_add(1);
+        });
+      }
+    });
+  }
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  stop = true;
+  writer.join();
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(violations.load(), 0u);
+  // Cleanup.
+  Node* n = head.get();
+  while (n != nullptr) {
+    Node* nx = n->next.get();
+    delete n;
+    n = nx;
+  }
+  mem::EbrDomain::instance().drain();
+}
+
+TEST(HtmOpacity, SnapshotExtensionAllowsNonConflictingProgress) {
+  // A transaction whose read set is untouched must survive commits to
+  // unrelated data (the epoch-based revalidation must pass, not abort).
+  alignas(64) std::uint64_t mine = 1;
+  alignas(64) std::uint64_t other = 0;
+  std::atomic<int> stage{0};
+  std::thread t([&] {
+    const bool ok = attempt([&] {
+      EXPECT_EQ(read(&mine), 1u);
+      stage.store(1);
+      while (stage.load() != 2) util::cpu_relax();
+      EXPECT_EQ(read(&mine), 1u);  // epoch moved; revalidation must pass
+      write(&mine, std::uint64_t{2});
+    });
+    EXPECT_TRUE(ok);
+  });
+  while (stage.load() != 1) util::cpu_relax();
+  ASSERT_TRUE(attempt([&] { write(&other, std::uint64_t{9}); }));
+  stage.store(2);
+  t.join();
+  EXPECT_EQ(mine, 2u);
+  EXPECT_EQ(other, 9u);
+}
+
+}  // namespace
+}  // namespace hcf::htm

@@ -1,0 +1,150 @@
+#include "sync/tx_lock.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "sim_htm/htm.hpp"
+#include "sync/spinlock.hpp"
+
+namespace hcf::sync {
+namespace {
+
+template <typename L>
+class ElidableLockTest : public ::testing::Test {};
+
+using LockTypes = ::testing::Types<TxLock, FairTxLock>;
+TYPED_TEST_SUITE(ElidableLockTest, LockTypes);
+
+TYPED_TEST(ElidableLockTest, MutualExclusionCounter) {
+  TypeParam lock;
+  std::uint64_t counter = 0;  // deliberately non-atomic
+  constexpr int kThreads = 4;
+  constexpr int kIters = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        lock.lock();
+        counter = counter + 1;
+        lock.unlock();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter, static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(lock.acquisition_count(),
+            static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+TYPED_TEST(ElidableLockTest, TryLockRespectsHolder) {
+  TypeParam lock;
+  EXPECT_FALSE(lock.is_locked());
+  EXPECT_TRUE(lock.try_lock());
+  EXPECT_TRUE(lock.is_locked());
+  std::thread t([&] { EXPECT_FALSE(lock.try_lock()); });
+  t.join();
+  lock.unlock();
+  EXPECT_FALSE(lock.is_locked());
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+TYPED_TEST(ElidableLockTest, SubscribeAbortsWhenHeld) {
+  TypeParam lock;
+  lock.lock();
+  EXPECT_FALSE(htm::attempt([&] { lock.subscribe(); }));
+  EXPECT_EQ(htm::last_abort_code(), htm::AbortCode::LockBusy);
+  lock.unlock();
+  EXPECT_TRUE(htm::attempt([&] { lock.subscribe(); }));
+}
+
+TYPED_TEST(ElidableLockTest, WaitUntilFreeReturnsAfterUnlock) {
+  TypeParam lock;
+  lock.lock();
+  std::atomic<bool> released{false};
+  std::thread t([&] {
+    lock.wait_until_free();
+    EXPECT_TRUE(released.load());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  released = true;
+  lock.unlock();
+  t.join();
+}
+
+TYPED_TEST(ElidableLockTest, GuardReleasesOnScopeExit) {
+  TypeParam lock;
+  {
+    LockGuard<TypeParam> guard(lock);
+    EXPECT_TRUE(lock.is_locked());
+  }
+  EXPECT_FALSE(lock.is_locked());
+}
+
+TEST(FairTxLock, FifoOrderUnderContention) {
+  // While the main thread holds the lock, spawn contenders one at a time
+  // and wait (via pending()) until each has taken its ticket — enqueue
+  // order is then deterministic, and grants must follow it exactly.
+  FairTxLock lock;
+  std::vector<int> grant_order;
+  constexpr int kThreads = 6;
+
+  lock.lock();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    const std::uint64_t before = lock.pending();
+    threads.emplace_back([&, t] {
+      lock.lock();
+      grant_order.push_back(t);  // protected by the lock itself
+      lock.unlock();
+    });
+    while (lock.pending() == before) std::this_thread::yield();
+  }
+  lock.unlock();
+  for (auto& th : threads) th.join();
+  ASSERT_EQ(grant_order.size(), static_cast<std::size_t>(kThreads));
+  for (int i = 0; i < kThreads; ++i) EXPECT_EQ(grant_order[i], i);
+}
+
+TEST(SpinLock, MutualExclusion) {
+  SpinLock lock;
+  std::uint64_t counter = 0;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        lock.lock();
+        counter = counter + 1;
+        lock.unlock();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter, static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+TEST(SpinLock, TryLock) {
+  SpinLock lock;
+  EXPECT_TRUE(lock.try_lock());
+  EXPECT_FALSE(lock.try_lock());
+  lock.unlock();
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+TEST(TxLock, AcquisitionCountResets) {
+  TxLock lock;
+  lock.lock();
+  lock.unlock();
+  EXPECT_EQ(lock.acquisition_count(), 1u);
+  lock.reset_stats();
+  EXPECT_EQ(lock.acquisition_count(), 0u);
+}
+
+}  // namespace
+}  // namespace hcf::sync

@@ -1,0 +1,147 @@
+#include "core/publication_array.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/operation.hpp"
+#include "sim_htm/htm.hpp"
+#include "util/thread_id.hpp"
+
+namespace hcf::core {
+namespace {
+
+struct NullDs {};
+
+class NoopOp : public Operation<NullDs> {
+ public:
+  void run_seq(NullDs&) override {}
+};
+
+TEST(PublicationArray, AddPeekClear) {
+  PublicationArray<NullDs> pa;
+  NoopOp op;
+  const std::size_t self = util::this_thread_id();
+  EXPECT_EQ(pa.peek(self), nullptr);
+  pa.add(&op);
+  EXPECT_EQ(pa.peek(self), &op);
+  pa.clear_slot(self);
+  EXPECT_EQ(pa.peek(self), nullptr);
+}
+
+TEST(PublicationArray, RemoveStrongClearsOwnSlot) {
+  PublicationArray<NullDs> pa;
+  NoopOp op;
+  pa.add(&op);
+  pa.remove_strong();
+  EXPECT_EQ(pa.peek(util::this_thread_id()), nullptr);
+}
+
+TEST(PublicationArray, ForEachSeesAllAnnounced) {
+  PublicationArray<NullDs> pa;
+  constexpr int kThreads = 6;
+  std::vector<std::unique_ptr<NoopOp>> ops;
+  for (int i = 0; i < kThreads; ++i) ops.push_back(std::make_unique<NoopOp>());
+
+  std::atomic<int> announced{0};
+  std::atomic<bool> release{false};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      pa.add(ops[i].get());
+      announced.fetch_add(1);
+      while (!release.load()) std::this_thread::yield();
+      pa.remove_strong();
+    });
+  }
+  while (announced.load() != kThreads) std::this_thread::yield();
+
+  pa.selection_lock().lock();
+  int seen = 0;
+  pa.for_each_announced([&](Operation<NullDs>* op, std::size_t) {
+    EXPECT_NE(op, nullptr);
+    ++seen;
+  });
+  pa.selection_lock().unlock();
+  EXPECT_EQ(seen, kThreads);
+
+  release = true;
+  for (auto& t : threads) t.join();
+
+  pa.selection_lock().lock();
+  seen = 0;
+  pa.for_each_announced([&](Operation<NullDs>*, std::size_t) { ++seen; });
+  pa.selection_lock().unlock();
+  EXPECT_EQ(seen, 0);
+}
+
+TEST(PublicationArray, TransactionalRemoveCommits) {
+  PublicationArray<NullDs> pa;
+  NoopOp op;
+  pa.add(&op);
+  const bool ok = htm::attempt([&] { pa.remove_tx(&op); });
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(pa.peek(util::this_thread_id()), nullptr);
+}
+
+TEST(PublicationArray, TransactionalRemoveRolledBackOnAbort) {
+  PublicationArray<NullDs> pa;
+  NoopOp op;
+  pa.add(&op);
+  htm::attempt([&] {
+    pa.remove_tx(&op);
+    htm::abort_tx();
+  });
+  EXPECT_EQ(pa.peek(util::this_thread_id()), &op);
+  pa.remove_strong();
+}
+
+TEST(PublicationArray, SelectionLockSubscriptionAborts) {
+  PublicationArray<NullDs> pa;
+  pa.selection_lock().lock();
+  EXPECT_FALSE(htm::attempt([&] { pa.selection_lock().subscribe(); }));
+  pa.selection_lock().unlock();
+  EXPECT_TRUE(htm::attempt([&] { pa.selection_lock().subscribe(); }));
+}
+
+TEST(OperationDescriptor, StatusLifecycle) {
+  NoopOp op;
+  op.prepare();
+  EXPECT_EQ(op.status(), OpStatus::UnAnnounced);
+  op.mark_announced();
+  EXPECT_EQ(op.status(), OpStatus::Announced);
+  op.mark_being_helped();
+  EXPECT_EQ(op.status(), OpStatus::BeingHelped);
+  op.mark_done(Phase::Combining);
+  EXPECT_EQ(op.status(), OpStatus::Done);
+  EXPECT_EQ(op.completed_phase(), Phase::Combining);
+  op.wait_done();  // must not block once Done
+}
+
+TEST(OperationDescriptor, DefaultRunMultiRunsAll) {
+  struct CountDs {
+    int count = 0;
+  };
+  struct CountOp : Operation<CountDs> {
+    void run_seq(CountDs& ds) override { ++ds.count; }
+  };
+  CountDs ds;
+  CountOp a, b, c;
+  Operation<CountDs>* ops[] = {&a, &b, &c};
+  const std::size_t k = a.run_multi(ds, std::span<Operation<CountDs>*>(ops));
+  EXPECT_EQ(k, 3u);
+  EXPECT_EQ(ds.count, 3);
+}
+
+TEST(OperationDescriptor, HelpNobodyRefuses) {
+  HelpNobody<NullDs, NoopOp> op;
+  NoopOp other;
+  EXPECT_FALSE(op.should_help(other));
+  NoopOp helper;
+  EXPECT_TRUE(helper.should_help(op));  // default helps everyone
+}
+
+}  // namespace
+}  // namespace hcf::core

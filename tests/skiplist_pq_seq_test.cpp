@@ -1,0 +1,143 @@
+#include "ds/skiplist_pq.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "mem/ebr.hpp"
+#include "util/rng.hpp"
+
+namespace hcf::ds {
+namespace {
+
+using Pq = SkipListPq<std::uint64_t>;
+
+TEST(SkipListPqSeq, RemoveMinReturnsAscendingOrder) {
+  Pq pq;
+  util::Xoshiro256 rng(5);
+  std::vector<std::uint64_t> keys;
+  for (int i = 0; i < 1000; ++i) {
+    const auto k = rng.next();
+    keys.push_back(k);
+    pq.insert(k);
+  }
+  EXPECT_TRUE(pq.check_invariants());
+  std::sort(keys.begin(), keys.end());
+  for (std::uint64_t expected : keys) {
+    const auto got = pq.remove_min();
+    ASSERT_TRUE(got.has_value());
+    ASSERT_EQ(*got, expected);
+  }
+  EXPECT_FALSE(pq.remove_min().has_value());
+  EXPECT_TRUE(pq.empty());
+}
+
+TEST(SkipListPqSeq, DuplicateKeysAllReturned) {
+  Pq pq;
+  for (int i = 0; i < 5; ++i) pq.insert(7);
+  pq.insert(3);
+  EXPECT_EQ(pq.remove_min(), 3u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(pq.remove_min(), 7u);
+  EXPECT_TRUE(pq.empty());
+}
+
+TEST(SkipListPqSeq, PeekDoesNotRemove) {
+  Pq pq;
+  pq.insert(9);
+  EXPECT_EQ(pq.peek_min(), 9u);
+  EXPECT_EQ(pq.size_slow(), 1u);
+  EXPECT_EQ(pq.remove_min(), 9u);
+  EXPECT_FALSE(pq.peek_min().has_value());
+}
+
+TEST(SkipListPqSeq, RemoveMinNMatchesRepeatedRemoveMin) {
+  util::Xoshiro256 rng(8);
+  for (int round = 0; round < 50; ++round) {
+    Pq batched, single;
+    std::vector<std::uint64_t> keys;
+    const int n = 40 + static_cast<int>(rng.next_bounded(60));
+    for (int i = 0; i < n; ++i) {
+      const auto k = rng.next_bounded(1000);
+      keys.push_back(k);
+      batched.insert(k);
+      single.insert(k);
+    }
+    const std::size_t batch = 1 + rng.next_bounded(12);
+    std::vector<std::uint64_t> got(batch);
+    const std::size_t removed = batched.remove_min_n(std::span(got.data(), batch));
+    ASSERT_EQ(removed, std::min<std::size_t>(batch, keys.size()));
+    for (std::size_t i = 0; i < removed; ++i) {
+      ASSERT_EQ(got[i], *single.remove_min()) << "round " << round;
+    }
+    ASSERT_EQ(batched.size_slow(), single.size_slow());
+    ASSERT_TRUE(batched.check_invariants());
+  }
+  mem::EbrDomain::instance().drain();
+}
+
+TEST(SkipListPqSeq, RemoveMinNOnEmptyReturnsZero) {
+  Pq pq;
+  std::uint64_t out[4];
+  EXPECT_EQ(pq.remove_min_n(std::span<std::uint64_t>(out, 4)), 0u);
+}
+
+TEST(SkipListPqSeq, RemoveMinNDrainsExactly) {
+  Pq pq;
+  for (std::uint64_t k = 0; k < 10; ++k) pq.insert(k);
+  std::uint64_t out[16];
+  const std::size_t removed = pq.remove_min_n(std::span<std::uint64_t>(out, 16));
+  EXPECT_EQ(removed, 10u);
+  for (std::uint64_t k = 0; k < 10; ++k) EXPECT_EQ(out[k], k);
+  EXPECT_TRUE(pq.empty());
+  EXPECT_TRUE(pq.check_invariants());
+}
+
+TEST(SkipListPqSeq, InterleavedInsertRemoveAgainstStdPq) {
+  Pq pq;
+  std::priority_queue<std::uint64_t, std::vector<std::uint64_t>,
+                      std::greater<>> ref;
+  util::Xoshiro256 rng(21);
+  for (int i = 0; i < 20000; ++i) {
+    if (ref.empty() || rng.next_bounded(2) == 0) {
+      const auto k = rng.next_bounded(1 << 20);
+      pq.insert(k);
+      ref.push(k);
+    } else {
+      ASSERT_EQ(*pq.remove_min(), ref.top()) << i;
+      ref.pop();
+    }
+  }
+  EXPECT_EQ(pq.size_slow(), ref.size());
+  EXPECT_TRUE(pq.check_invariants());
+  mem::EbrDomain::instance().drain();
+}
+
+TEST(SkipListPqSeq, TransactionalRollback) {
+  Pq pq;
+  pq.insert(1);
+  htm::attempt([&] {
+    pq.insert(0);
+    (void)pq.remove_min();
+    htm::abort_tx();
+  });
+  EXPECT_EQ(pq.size_slow(), 1u);
+  EXPECT_EQ(pq.peek_min(), 1u);
+  EXPECT_TRUE(pq.check_invariants());
+}
+
+TEST(SkipListPqSeq, TransactionalCommit) {
+  Pq pq;
+  ASSERT_TRUE(htm::attempt([&] {
+    pq.insert(5);
+    pq.insert(3);
+    EXPECT_EQ(pq.remove_min(), 3u);
+  }));
+  EXPECT_EQ(pq.size_slow(), 1u);
+  EXPECT_EQ(pq.peek_min(), 5u);
+  mem::EbrDomain::instance().drain();
+}
+
+}  // namespace
+}  // namespace hcf::ds

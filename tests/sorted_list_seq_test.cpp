@@ -1,0 +1,153 @@
+#include "ds/sorted_list.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "mem/ebr.hpp"
+#include "util/rng.hpp"
+
+namespace hcf::ds {
+namespace {
+
+using List = SortedList<std::uint64_t>;
+using BatchOp = List::BatchOp;
+using Kind = List::BatchOpKind;
+
+TEST(SortedListSeq, InsertRemoveContains) {
+  List l;
+  EXPECT_TRUE(l.insert(5));
+  EXPECT_FALSE(l.insert(5));
+  EXPECT_TRUE(l.insert(3));
+  EXPECT_TRUE(l.insert(7));
+  EXPECT_TRUE(l.contains(5));
+  EXPECT_FALSE(l.contains(4));
+  EXPECT_TRUE(l.check_invariants());
+  EXPECT_TRUE(l.remove(5));
+  EXPECT_FALSE(l.remove(5));
+  EXPECT_FALSE(l.contains(5));
+  EXPECT_EQ(l.size_slow(), 2u);
+  EXPECT_TRUE(l.check_invariants());
+}
+
+TEST(SortedListSeq, KeysStaySorted) {
+  List l;
+  util::Xoshiro256 rng(3);
+  for (int i = 0; i < 300; ++i) l.insert(rng.next_bounded(1000));
+  std::vector<std::uint64_t> keys;
+  l.for_each([&](std::uint64_t k) { keys.push_back(k); });
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  EXPECT_TRUE(std::adjacent_find(keys.begin(), keys.end()) == keys.end());
+}
+
+TEST(SortedListSeq, RemoveHeadMiddleTail) {
+  List l;
+  for (std::uint64_t k : {1, 2, 3, 4, 5}) l.insert(k);
+  EXPECT_TRUE(l.remove(1));  // head
+  EXPECT_TRUE(l.remove(3));  // middle
+  EXPECT_TRUE(l.remove(5));  // tail
+  EXPECT_EQ(l.size_slow(), 2u);
+  EXPECT_TRUE(l.check_invariants());
+}
+
+TEST(SortedListSeq, RandomizedAgainstStdSet) {
+  List l;
+  std::set<std::uint64_t> ref;
+  util::Xoshiro256 rng(21);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t key = rng.next_bounded(200);
+    switch (rng.next_bounded(3)) {
+      case 0: ASSERT_EQ(l.insert(key), ref.insert(key).second) << i; break;
+      case 1: ASSERT_EQ(l.remove(key), ref.erase(key) > 0) << i; break;
+      default: ASSERT_EQ(l.contains(key), ref.count(key) > 0) << i;
+    }
+  }
+  EXPECT_EQ(l.size_slow(), ref.size());
+  EXPECT_TRUE(l.check_invariants());
+  mem::EbrDomain::instance().drain();
+}
+
+TEST(SortedListSeq, BatchMatchesSequentialApplication) {
+  util::Xoshiro256 rng(4);
+  for (int round = 0; round < 300; ++round) {
+    List batched, plain;
+    std::set<std::uint64_t> init;
+    for (int i = 0; i < 20; ++i) init.insert(rng.next_bounded(32));
+    for (auto k : init) {
+      batched.insert(k);
+      plain.insert(k);
+    }
+    // A key-sorted batch with duplicates.
+    std::vector<BatchOp> ops;
+    const int n = 1 + static_cast<int>(rng.next_bounded(12));
+    for (int i = 0; i < n; ++i) {
+      BatchOp op;
+      op.key = rng.next_bounded(32);
+      op.kind = static_cast<Kind>(rng.next_bounded(3));
+      op.result = false;
+      ops.push_back(op);
+    }
+    std::sort(ops.begin(), ops.end(),
+              [](const BatchOp& a, const BatchOp& b) { return a.key < b.key; });
+
+    auto expected = ops;
+    for (auto& op : expected) {
+      switch (op.kind) {
+        case Kind::Contains: op.result = plain.contains(op.key); break;
+        case Kind::Insert: op.result = plain.insert(op.key); break;
+        case Kind::Remove: op.result = plain.remove(op.key); break;
+      }
+    }
+    batched.apply_sorted_batch(ops);
+    for (int i = 0; i < n; ++i) {
+      ASSERT_EQ(ops[static_cast<std::size_t>(i)].result,
+                expected[static_cast<std::size_t>(i)].result)
+          << "round " << round << " op " << i;
+    }
+    ASSERT_EQ(batched.size_slow(), plain.size_slow()) << round;
+    ASSERT_TRUE(batched.check_invariants()) << round;
+    std::vector<std::uint64_t> a, b;
+    batched.for_each([&](std::uint64_t k) { a.push_back(k); });
+    plain.for_each([&](std::uint64_t k) { b.push_back(k); });
+    ASSERT_EQ(a, b) << round;
+  }
+  mem::EbrDomain::instance().drain();
+}
+
+TEST(SortedListSeq, BatchInsertRemovePairEliminates) {
+  List l;
+  l.insert(1);
+  BatchOp ops[] = {{.key = 5, .kind = Kind::Insert, .result = false},
+                   {.key = 5, .kind = Kind::Remove, .result = false}};
+  l.apply_sorted_batch(ops);
+  EXPECT_TRUE(ops[0].result);
+  EXPECT_TRUE(ops[1].result);
+  EXPECT_FALSE(l.contains(5));
+  EXPECT_EQ(l.size_slow(), 1u);
+}
+
+TEST(SortedListSeq, EmptyBatchIsNoop) {
+  List l;
+  l.insert(9);
+  l.apply_sorted_batch({});
+  EXPECT_EQ(l.size_slow(), 1u);
+}
+
+TEST(SortedListSeq, TransactionalRollback) {
+  List l;
+  l.insert(1);
+  htm::attempt([&] {
+    l.insert(2);
+    l.remove(1);
+    htm::abort_tx();
+  });
+  EXPECT_TRUE(l.contains(1));
+  EXPECT_FALSE(l.contains(2));
+  EXPECT_TRUE(l.check_invariants());
+  mem::EbrDomain::instance().drain();
+}
+
+}  // namespace
+}  // namespace hcf::ds

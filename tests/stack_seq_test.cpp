@@ -1,0 +1,111 @@
+#include "ds/stack.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stack>
+#include <vector>
+
+#include "mem/ebr.hpp"
+#include "util/rng.hpp"
+
+namespace hcf::ds {
+namespace {
+
+using St = Stack<std::uint64_t>;
+
+TEST(StackSeq, LifoOrder) {
+  St s;
+  EXPECT_TRUE(s.empty());
+  s.push(1);
+  s.push(2);
+  s.push(3);
+  EXPECT_EQ(s.peek(), 3u);
+  EXPECT_EQ(s.pop(), 3u);
+  EXPECT_EQ(s.pop(), 2u);
+  EXPECT_EQ(s.pop(), 1u);
+  EXPECT_FALSE(s.pop().has_value());
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(StackSeq, PushNOrdering) {
+  St s;
+  s.push(100);
+  const std::uint64_t vals[] = {1, 2, 3};
+  s.push_n(vals);
+  // values[n-1] on top.
+  EXPECT_EQ(s.pop(), 3u);
+  EXPECT_EQ(s.pop(), 2u);
+  EXPECT_EQ(s.pop(), 1u);
+  EXPECT_EQ(s.pop(), 100u);
+}
+
+TEST(StackSeq, PushNMatchesIndividualPushes) {
+  St batch, individual;
+  const std::uint64_t vals[] = {5, 6, 7, 8};
+  batch.push_n(vals);
+  for (auto v : vals) individual.push(v);
+  while (!individual.empty()) {
+    ASSERT_EQ(batch.pop(), individual.pop());
+  }
+  EXPECT_TRUE(batch.empty());
+}
+
+TEST(StackSeq, PopNTopFirst) {
+  St s;
+  for (std::uint64_t v = 0; v < 10; ++v) s.push(v);
+  std::uint64_t out[4];
+  EXPECT_EQ(s.pop_n(std::span<std::uint64_t>(out, 4)), 4u);
+  EXPECT_EQ(out[0], 9u);
+  EXPECT_EQ(out[3], 6u);
+  EXPECT_EQ(s.size_slow(), 6u);
+}
+
+TEST(StackSeq, PopNDrainsPastEmpty) {
+  St s;
+  s.push(1);
+  std::uint64_t out[5];
+  EXPECT_EQ(s.pop_n(std::span<std::uint64_t>(out, 5)), 1u);
+  EXPECT_EQ(s.pop_n(std::span<std::uint64_t>(out, 5)), 0u);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(StackSeq, PushNEmptyIsNoop) {
+  St s;
+  s.push_n({});
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(StackSeq, RandomizedAgainstStdStack) {
+  St s;
+  std::stack<std::uint64_t> ref;
+  util::Xoshiro256 rng(17);
+  for (int i = 0; i < 30000; ++i) {
+    if (ref.empty() || rng.next_bounded(2) == 0) {
+      const auto v = rng.next();
+      s.push(v);
+      ref.push(v);
+    } else {
+      ASSERT_EQ(*s.pop(), ref.top());
+      ref.pop();
+    }
+  }
+  EXPECT_EQ(s.size_slow(), ref.size());
+  mem::EbrDomain::instance().drain();
+}
+
+TEST(StackSeq, TransactionalRollback) {
+  St s;
+  s.push(1);
+  htm::attempt([&] {
+    s.push(2);
+    (void)s.pop();
+    (void)s.pop();
+    htm::abort_tx();
+  });
+  EXPECT_EQ(s.size_slow(), 1u);
+  EXPECT_EQ(s.peek(), 1u);
+  mem::EbrDomain::instance().drain();
+}
+
+}  // namespace
+}  // namespace hcf::ds

@@ -1,0 +1,134 @@
+#include "sim_htm/txcell.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "sim_htm/htm.hpp"
+
+namespace hcf::htm {
+namespace {
+
+TEST(TxCell, LoadStoreRoundTrip) {
+  TxCell<std::uint64_t> cell{5};
+  EXPECT_EQ(cell.load(), 5u);
+  cell.store(9);
+  EXPECT_EQ(cell.load(), 9u);
+  cell.store_plain(11);
+  EXPECT_EQ(cell.load(), 11u);
+  cell.init(2);
+  EXPECT_EQ(cell.load(), 2u);
+}
+
+TEST(TxCell, CasSemantics) {
+  TxCell<std::uint64_t> cell{1};
+  EXPECT_FALSE(cell.cas(0, 7));
+  EXPECT_EQ(cell.load(), 1u);
+  EXPECT_TRUE(cell.cas(1, 7));
+  EXPECT_EQ(cell.load(), 7u);
+}
+
+TEST(TxCell, FetchAddReturnsPrevious) {
+  TxCell<std::uint64_t> cell{10};
+  EXPECT_EQ(cell.fetch_add(5), 10u);
+  EXPECT_EQ(cell.load(), 15u);
+}
+
+TEST(TxCell, TransactionalReadAndWrite) {
+  TxCell<std::uint64_t> cell{3};
+  const bool ok = attempt([&] {
+    EXPECT_EQ(cell.read(), 3u);
+    cell.tx_write(8);
+    EXPECT_EQ(cell.read(), 8u);  // read-own-buffered-write
+  });
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(cell.load(), 8u);
+}
+
+TEST(TxCell, TxWriteDiscardedOnAbort) {
+  TxCell<std::uint64_t> cell{3};
+  attempt([&] {
+    cell.tx_write(99);
+    abort_tx();
+  });
+  EXPECT_EQ(cell.load(), 3u);
+}
+
+TEST(TxCell, ConcurrentCasExactlyOneWinnerPerRound) {
+  TxCell<std::uint64_t> cell{0};
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 2000;
+  std::atomic<int> winners{0};
+  std::vector<std::thread> threads;
+  std::atomic<int> round_gate{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int r = 0; r < kRounds; ++r) {
+        // Everyone tries to claim the cell for this round.
+        if (cell.cas(static_cast<std::uint64_t>(r) * 2,
+                     static_cast<std::uint64_t>(r) * 2 + 1)) {
+          winners.fetch_add(1);
+          cell.store(static_cast<std::uint64_t>(r + 1) * 2);  // open next
+        } else {
+          while (cell.load() < static_cast<std::uint64_t>(r + 1) * 2) {
+            std::this_thread::yield();
+          }
+        }
+        (void)t;
+        (void)round_gate;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(winners.load(), kRounds);
+}
+
+TEST(TxCell, ConcurrentFetchAddLosesNothing) {
+  TxCell<std::uint64_t> cell{0};
+  constexpr int kThreads = 4;
+  constexpr int kIters = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) cell.fetch_add(1);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(cell.load(), static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+TEST(TxCell, StrongStoreSerializesWithCommittingWriter) {
+  // A transaction tx-writes the cell while another thread strong-stores it:
+  // the final value must be one of the two, and counters must reconcile.
+  for (int round = 0; round < 500; ++round) {
+    TxCell<std::uint64_t> cell{0};
+    std::atomic<int> ready{0};
+    std::thread t1([&] {
+      ready.fetch_add(1);
+      while (ready.load() != 2) {}
+      attempt([&] { cell.tx_write(1); });
+    });
+    std::thread t2([&] {
+      ready.fetch_add(1);
+      while (ready.load() != 2) {}
+      cell.store(2);
+    });
+    t1.join();
+    t2.join();
+    const auto v = cell.load();
+    EXPECT_TRUE(v == 1 || v == 2) << v;
+  }
+}
+
+TEST(TxCell, PointerCell) {
+  int a = 0, b = 0;
+  TxCell<int*> cell{&a};
+  EXPECT_EQ(cell.load(), &a);
+  EXPECT_TRUE(cell.cas(&a, &b));
+  EXPECT_EQ(cell.load(), &b);
+}
+
+}  // namespace
+}  // namespace hcf::htm

@@ -1,0 +1,72 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace hcf::util {
+namespace {
+
+TEST(SplitMix64, DeterministicForSeed) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Mix64, BijectivityOnSample) {
+  // mix64 is invertible; distinct inputs must produce distinct outputs.
+  std::set<std::uint64_t> outputs;
+  for (std::uint64_t i = 0; i < 10000; ++i) outputs.insert(mix64(i));
+  EXPECT_EQ(outputs.size(), 10000u);
+}
+
+TEST(Xoshiro256, Deterministic) {
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, BoundedStaysInBounds) {
+  Xoshiro256 rng(123);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_bounded(17), 17u);
+  }
+}
+
+TEST(Xoshiro256, BoundedCoversRange) {
+  Xoshiro256 rng(9);
+  std::vector<int> hits(8, 0);
+  for (int i = 0; i < 8000; ++i) ++hits[rng.next_bounded(8)];
+  for (int h : hits) {
+    EXPECT_GT(h, 700);  // each bucket ~1000, allow wide slack
+    EXPECT_LT(h, 1300);
+  }
+}
+
+TEST(Xoshiro256, DoubleInUnitInterval) {
+  Xoshiro256 rng(77);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Xoshiro256, BoundedOneAlwaysZero) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.next_bounded(1), 0u);
+}
+
+}  // namespace
+}  // namespace hcf::util

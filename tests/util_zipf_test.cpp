@@ -1,0 +1,105 @@
+#include "util/zipf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace hcf::util {
+namespace {
+
+TEST(Zipf, ValuesStayInRange) {
+  Xoshiro256 rng(1);
+  ZipfianGenerator zipf(100, 0.9);
+  for (int i = 0; i < 100000; ++i) {
+    EXPECT_LT(zipf.next(rng), 100u);
+  }
+}
+
+TEST(Zipf, ProbabilitiesSumToOne) {
+  ZipfianGenerator zipf(1000, 0.9);
+  double sum = 0.0;
+  for (std::uint64_t k = 0; k < 1000; ++k) sum += zipf.probability(k);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Zipf, ProbabilitiesMonotoneDecreasing) {
+  ZipfianGenerator zipf(64, 0.7);
+  for (std::uint64_t k = 1; k < 64; ++k) {
+    EXPECT_LT(zipf.probability(k), zipf.probability(k - 1));
+  }
+}
+
+TEST(Zipf, EmpiricalMatchesAnalytic) {
+  // theta = 0.9 over 16 ranks: compare empirical frequencies to p(k).
+  Xoshiro256 rng(42);
+  ZipfianGenerator zipf(16, 0.9);
+  std::vector<std::uint64_t> hits(16, 0);
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) ++hits[zipf.next(rng)];
+  for (std::uint64_t k = 0; k < 16; ++k) {
+    const double expected = zipf.probability(k);
+    const double observed = static_cast<double>(hits[k]) / n;
+    // The inversion method is approximate for mid ranks; 25% relative
+    // tolerance (plus absolute floor) is tight enough to catch real bugs.
+    EXPECT_NEAR(observed, expected, expected * 0.25 + 0.002)
+        << "rank " << k;
+  }
+}
+
+TEST(Zipf, HigherThetaMoreSkewed) {
+  Xoshiro256 rng1(5), rng2(5);
+  ZipfianGenerator mild(1024, 0.3), sharp(1024, 0.95);
+  std::uint64_t mild_rank0 = 0, sharp_rank0 = 0;
+  for (int i = 0; i < 100000; ++i) {
+    if (mild.next(rng1) == 0) ++mild_rank0;
+    if (sharp.next(rng2) == 0) ++sharp_rank0;
+  }
+  EXPECT_GT(sharp_rank0, mild_rank0 * 2);
+}
+
+TEST(Zipf, ThetaZeroIsRoughlyUniform) {
+  Xoshiro256 rng(11);
+  ZipfianGenerator zipf(10, 0.0);
+  std::vector<std::uint64_t> hits(10, 0);
+  for (int i = 0; i < 100000; ++i) ++hits[zipf.next(rng)];
+  const auto [mn, mx] = std::minmax_element(hits.begin(), hits.end());
+  EXPECT_LT(static_cast<double>(*mx) / static_cast<double>(*mn), 1.25);
+}
+
+TEST(Zipf, SingleElementRange) {
+  Xoshiro256 rng(3);
+  ZipfianGenerator zipf(1, 0.5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.next(rng), 0u);
+}
+
+TEST(ScatteredZipf, StaysInRange) {
+  Xoshiro256 rng(8);
+  ScatteredZipf zipf(1000, 0.9);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(zipf.next(rng), 1000u);
+}
+
+TEST(ScatteredZipf, HotKeysNotAdjacent) {
+  // With scattering, the two hottest observed keys should (with high
+  // probability) not be numerically adjacent.
+  Xoshiro256 rng(8);
+  ScatteredZipf zipf(1 << 16, 0.99);
+  std::vector<std::uint64_t> hits(1 << 16, 0);
+  for (int i = 0; i < 200000; ++i) ++hits[zipf.next(rng)];
+  std::size_t best = 0, second = 1;
+  if (hits[second] > hits[best]) std::swap(best, second);
+  for (std::size_t k = 2; k < hits.size(); ++k) {
+    if (hits[k] > hits[best]) {
+      second = best;
+      best = k;
+    } else if (hits[k] > hits[second]) {
+      second = k;
+    }
+  }
+  const auto distance = best > second ? best - second : second - best;
+  EXPECT_GT(distance, 1u);
+}
+
+}  // namespace
+}  // namespace hcf::util
