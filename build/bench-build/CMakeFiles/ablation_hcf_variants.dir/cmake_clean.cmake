@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_hcf_variants"
+  "../bench/ablation_hcf_variants.pdb"
+  "CMakeFiles/ablation_hcf_variants.dir/ablation_hcf_variants.cpp.o"
+  "CMakeFiles/ablation_hcf_variants.dir/ablation_hcf_variants.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hcf_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_trials"
+  "../bench/ablation_trials.pdb"
+  "CMakeFiles/ablation_trials.dir/ablation_trials.cpp.o"
+  "CMakeFiles/ablation_trials.dir/ablation_trials.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_trials.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/deque_two_ends"
+  "../bench/deque_two_ends.pdb"
+  "CMakeFiles/deque_two_ends.dir/deque_two_ends.cpp.o"
+  "CMakeFiles/deque_two_ends.dir/deque_two_ends.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deque_two_ends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

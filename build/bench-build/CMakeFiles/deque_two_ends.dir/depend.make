@@ -1,0 +1,2 @@
+# Empty dependencies file for deque_two_ends.
+# This may be replaced when dependencies are built.

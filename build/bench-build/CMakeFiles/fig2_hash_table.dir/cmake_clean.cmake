@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_hash_table"
+  "../bench/fig2_hash_table.pdb"
+  "CMakeFiles/fig2_hash_table.dir/fig2_hash_table.cpp.o"
+  "CMakeFiles/fig2_hash_table.dir/fig2_hash_table.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_hash_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

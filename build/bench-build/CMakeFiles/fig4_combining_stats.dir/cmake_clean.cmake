@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_combining_stats"
+  "../bench/fig4_combining_stats.pdb"
+  "CMakeFiles/fig4_combining_stats.dir/fig4_combining_stats.cpp.o"
+  "CMakeFiles/fig4_combining_stats.dir/fig4_combining_stats.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_combining_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

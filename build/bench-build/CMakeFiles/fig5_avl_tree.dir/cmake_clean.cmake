@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_avl_tree"
+  "../bench/fig5_avl_tree.pdb"
+  "CMakeFiles/fig5_avl_tree.dir/fig5_avl_tree.cpp.o"
+  "CMakeFiles/fig5_avl_tree.dir/fig5_avl_tree.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_avl_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

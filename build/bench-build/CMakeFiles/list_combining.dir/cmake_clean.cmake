@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/list_combining"
+  "../bench/list_combining.pdb"
+  "CMakeFiles/list_combining.dir/list_combining.cpp.o"
+  "CMakeFiles/list_combining.dir/list_combining.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/list_combining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

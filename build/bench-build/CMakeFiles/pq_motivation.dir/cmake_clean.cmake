@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/pq_motivation"
+  "../bench/pq_motivation.pdb"
+  "CMakeFiles/pq_motivation.dir/pq_motivation.cpp.o"
+  "CMakeFiles/pq_motivation.dir/pq_motivation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pq_motivation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/stack_elimination"
+  "../bench/stack_elimination.pdb"
+  "CMakeFiles/stack_elimination.dir/stack_elimination.cpp.o"
+  "CMakeFiles/stack_elimination.dir/stack_elimination.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stack_elimination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/adaptive_tuning"
+  "../examples/adaptive_tuning.pdb"
+  "CMakeFiles/adaptive_tuning.dir/adaptive_tuning.cpp.o"
+  "CMakeFiles/adaptive_tuning.dir/adaptive_tuning.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

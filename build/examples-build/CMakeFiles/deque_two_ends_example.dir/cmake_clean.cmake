@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/deque_two_ends_example"
+  "../examples/deque_two_ends_example.pdb"
+  "CMakeFiles/deque_two_ends_example.dir/deque_two_ends_example.cpp.o"
+  "CMakeFiles/deque_two_ends_example.dir/deque_two_ends_example.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deque_two_ends_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for deque_two_ends_example.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/priority_queue_combining"
+  "../examples/priority_queue_combining.pdb"
+  "CMakeFiles/priority_queue_combining.dir/priority_queue_combining.cpp.o"
+  "CMakeFiles/priority_queue_combining.dir/priority_queue_combining.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/priority_queue_combining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

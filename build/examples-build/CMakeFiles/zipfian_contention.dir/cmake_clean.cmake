@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/zipfian_contention"
+  "../examples/zipfian_contention.pdb"
+  "CMakeFiles/zipfian_contention.dir/zipfian_contention.cpp.o"
+  "CMakeFiles/zipfian_contention.dir/zipfian_contention.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zipfian_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

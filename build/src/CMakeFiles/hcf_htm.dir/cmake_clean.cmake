@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcf_htm.dir/sim_htm/htm.cpp.o"
+  "CMakeFiles/hcf_htm.dir/sim_htm/htm.cpp.o.d"
+  "libhcf_htm.a"
+  "libhcf_htm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcf_htm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

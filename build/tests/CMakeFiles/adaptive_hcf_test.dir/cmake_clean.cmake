@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_hcf_test.dir/adaptive_hcf_test.cpp.o"
+  "CMakeFiles/adaptive_hcf_test.dir/adaptive_hcf_test.cpp.o.d"
+  "adaptive_hcf_test"
+  "adaptive_hcf_test.pdb"
+  "adaptive_hcf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_hcf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deque_seq_test.dir/deque_seq_test.cpp.o"
+  "CMakeFiles/deque_seq_test.dir/deque_seq_test.cpp.o.d"
+  "deque_seq_test"
+  "deque_seq_test.pdb"
+  "deque_seq_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deque_seq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_avl_test.dir/engine_avl_test.cpp.o"
+  "CMakeFiles/engine_avl_test.dir/engine_avl_test.cpp.o.d"
+  "engine_avl_test"
+  "engine_avl_test.pdb"
+  "engine_avl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_avl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_capacity_test.dir/engine_capacity_test.cpp.o"
+  "CMakeFiles/engine_capacity_test.dir/engine_capacity_test.cpp.o.d"
+  "engine_capacity_test"
+  "engine_capacity_test.pdb"
+  "engine_capacity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_capacity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_deque_test.dir/engine_deque_test.cpp.o"
+  "CMakeFiles/engine_deque_test.dir/engine_deque_test.cpp.o.d"
+  "engine_deque_test"
+  "engine_deque_test.pdb"
+  "engine_deque_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_deque_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_hash_table_test.dir/engine_hash_table_test.cpp.o"
+  "CMakeFiles/engine_hash_table_test.dir/engine_hash_table_test.cpp.o.d"
+  "engine_hash_table_test"
+  "engine_hash_table_test.pdb"
+  "engine_hash_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_hash_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_list_test.dir/engine_list_test.cpp.o"
+  "CMakeFiles/engine_list_test.dir/engine_list_test.cpp.o.d"
+  "engine_list_test"
+  "engine_list_test.pdb"
+  "engine_list_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_list_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_stack_test.dir/engine_stack_test.cpp.o"
+  "CMakeFiles/engine_stack_test.dir/engine_stack_test.cpp.o.d"
+  "engine_stack_test"
+  "engine_stack_test.pdb"
+  "engine_stack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_stack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcf_protocol_test.dir/hcf_protocol_test.cpp.o"
+  "CMakeFiles/hcf_protocol_test.dir/hcf_protocol_test.cpp.o.d"
+  "hcf_protocol_test"
+  "hcf_protocol_test.pdb"
+  "hcf_protocol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcf_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htm_basic_test.dir/htm_basic_test.cpp.o"
+  "CMakeFiles/htm_basic_test.dir/htm_basic_test.cpp.o.d"
+  "htm_basic_test"
+  "htm_basic_test.pdb"
+  "htm_basic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htm_basic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htm_conflict_test.dir/htm_conflict_test.cpp.o"
+  "CMakeFiles/htm_conflict_test.dir/htm_conflict_test.cpp.o.d"
+  "htm_conflict_test"
+  "htm_conflict_test.pdb"
+  "htm_conflict_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htm_conflict_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htm_fuzz_test.dir/htm_fuzz_test.cpp.o"
+  "CMakeFiles/htm_fuzz_test.dir/htm_fuzz_test.cpp.o.d"
+  "htm_fuzz_test"
+  "htm_fuzz_test.pdb"
+  "htm_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htm_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

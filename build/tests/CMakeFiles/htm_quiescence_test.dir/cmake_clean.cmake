@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htm_quiescence_test.dir/htm_quiescence_test.cpp.o"
+  "CMakeFiles/htm_quiescence_test.dir/htm_quiescence_test.cpp.o.d"
+  "htm_quiescence_test"
+  "htm_quiescence_test.pdb"
+  "htm_quiescence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htm_quiescence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htm_strong_isolation_test.dir/htm_strong_isolation_test.cpp.o"
+  "CMakeFiles/htm_strong_isolation_test.dir/htm_strong_isolation_test.cpp.o.d"
+  "htm_strong_isolation_test"
+  "htm_strong_isolation_test.pdb"
+  "htm_strong_isolation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htm_strong_isolation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skiplist_pq_seq_test.dir/skiplist_pq_seq_test.cpp.o"
+  "CMakeFiles/skiplist_pq_seq_test.dir/skiplist_pq_seq_test.cpp.o.d"
+  "skiplist_pq_seq_test"
+  "skiplist_pq_seq_test.pdb"
+  "skiplist_pq_seq_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skiplist_pq_seq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

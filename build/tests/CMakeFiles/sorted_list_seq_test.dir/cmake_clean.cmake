@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sorted_list_seq_test.dir/sorted_list_seq_test.cpp.o"
+  "CMakeFiles/sorted_list_seq_test.dir/sorted_list_seq_test.cpp.o.d"
+  "sorted_list_seq_test"
+  "sorted_list_seq_test.pdb"
+  "sorted_list_seq_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sorted_list_seq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

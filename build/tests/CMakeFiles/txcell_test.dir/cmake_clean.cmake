@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txcell_test.dir/txcell_test.cpp.o"
+  "CMakeFiles/txcell_test.dir/txcell_test.cpp.o.d"
+  "txcell_test"
+  "txcell_test.pdb"
+  "txcell_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txcell_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

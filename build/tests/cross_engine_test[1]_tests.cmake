@@ -1,0 +1,3 @@
+add_test([=[CrossEngine.ThreeEnginesShareTheSubstrate]=]  /root/repo/build/tests/cross_engine_test [==[--gtest_filter=CrossEngine.ThreeEnginesShareTheSubstrate]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[CrossEngine.ThreeEnginesShareTheSubstrate]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  cross_engine_test_TESTS CrossEngine.ThreeEnginesShareTheSubstrate)
