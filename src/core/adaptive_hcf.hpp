@@ -143,10 +143,13 @@ class AdaptiveHcfEngine {
 
   Inner inner_;
   AdaptiveOptions options_;
-  std::atomic<std::uint64_t> ops_since_adapt_{0};
-  std::atomic<bool> adapting_{false};
-  std::atomic<std::uint64_t> adaptations_{0};
-  std::atomic<std::uint8_t> lean_[kMaxOpClasses]{};
+  // Adaptation bookkeeping, never accessed inside a transaction (execute()
+  // adapts only after inner_.execute() returns), so raw atomics are safe
+  // here — they don't need to doom subscribers.
+  std::atomic<std::uint64_t> ops_since_adapt_{0};   // lint:allow(raw-atomic-in-core)
+  std::atomic<bool> adapting_{false};               // lint:allow(raw-atomic-in-core)
+  std::atomic<std::uint64_t> adaptations_{0};       // lint:allow(raw-atomic-in-core)
+  std::atomic<std::uint8_t> lean_[kMaxOpClasses]{};  // lint:allow(raw-atomic-in-core)
   EngineStatsSnapshot last_window_[kMaxOpClasses];
 };
 

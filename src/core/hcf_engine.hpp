@@ -24,6 +24,7 @@
 // changes (§2.1).
 #pragma once
 
+#include <atomic>
 #include <cassert>
 #include <memory>
 #include <span>
@@ -75,6 +76,46 @@ struct ClassConfig {
   PhasePolicy policy{};
 };
 
+namespace detail {
+
+// Atomically-updatable storage for a PhasePolicy. set_class_policy may
+// overwrite a class's policy while concurrent execute() calls read it (§2.4
+// dynamic customization), so the fields are independent relaxed atomics: a
+// reader snapshotting mid-update can observe a mix of old and new budgets,
+// which is harmless — the policy shapes trial budgets, never correctness.
+// These atomics are engine configuration, never touched inside a
+// transaction, so the TxCell/TxField funnel does not apply.
+class AtomicPolicy {
+ public:
+  explicit AtomicPolicy(const PhasePolicy& p) noexcept { store(p); }
+  AtomicPolicy(const AtomicPolicy& other) noexcept { store(other.load()); }
+  AtomicPolicy& operator=(const AtomicPolicy& other) noexcept {
+    store(other.load());
+    return *this;
+  }
+
+  void store(const PhasePolicy& p) noexcept {
+    try_private_.store(p.try_private, std::memory_order_relaxed);
+    try_visible_.store(p.try_visible, std::memory_order_relaxed);
+    try_combining_.store(p.try_combining, std::memory_order_relaxed);
+    announce_.store(p.announce, std::memory_order_relaxed);
+  }
+  PhasePolicy load() const noexcept {
+    return {try_private_.load(std::memory_order_relaxed),
+            try_visible_.load(std::memory_order_relaxed),
+            try_combining_.load(std::memory_order_relaxed),
+            announce_.load(std::memory_order_relaxed)};
+  }
+
+ private:
+  std::atomic<int> try_private_;    // lint:allow(raw-atomic-in-core)
+  std::atomic<int> try_visible_;    // lint:allow(raw-atomic-in-core)
+  std::atomic<int> try_combining_;  // lint:allow(raw-atomic-in-core)
+  std::atomic<bool> announce_;      // lint:allow(raw-atomic-in-core)
+};
+
+}  // namespace detail
+
 template <typename DS, sync::ElidableLock Lock = sync::TxLock,
           sync::ElidableLock SelectionLock = sync::TxLock>
 class HcfEngine {
@@ -86,12 +127,13 @@ class HcfEngine {
   // publication arrays are created; every ClassConfig::array must be < it.
   HcfEngine(DS& ds, std::vector<ClassConfig> classes,
             std::size_t num_arrays = 1)
-      : ds_(ds), classes_(std::move(classes)) {
-    assert(!classes_.empty());
-    assert(classes_.size() <= kMaxOpClasses);
-    for (const auto& c : classes_) {
+      : ds_(ds) {
+    assert(!classes.empty());
+    assert(classes.size() <= kMaxOpClasses);
+    classes_.reserve(classes.size());
+    for (const auto& c : classes) {
       assert(c.array < num_arrays);
-      (void)c;
+      classes_.emplace_back(c);
     }
     arrays_.reserve(num_arrays);
     for (std::size_t i = 0; i < num_arrays; ++i) {
@@ -109,15 +151,18 @@ class HcfEngine {
     mem::Guard ebr;
     op.prepare();
     assert(static_cast<std::size_t>(op.class_id()) < classes_.size());
-    const ClassConfig& cfg = classes_[static_cast<std::size_t>(op.class_id())];
+    const ClassSlot& cfg = classes_[static_cast<std::size_t>(op.class_id())];
+    // One policy snapshot per operation: set_class_policy may update the
+    // slot concurrently, and each phase should see a consistent budget.
+    const PhasePolicy policy = cfg.policy.load();
     PubArray& pa = *arrays_[cfg.array];
 
-    if (try_private(op, cfg.policy)) return Phase::Private;
-    if (try_visible(op, pa, cfg.policy)) return op.completed_phase();
+    if (try_private(op, policy)) return Phase::Private;
+    if (try_visible(op, pa, policy)) return op.completed_phase();
 
     std::vector<Op*>& ops_to_help = scratch();
     ops_to_help.clear();
-    if (!try_combining(op, pa, cfg.policy, ops_to_help)) {
+    if (!try_combining(op, pa, policy, ops_to_help)) {
       combine_under_lock(op, ops_to_help);
     }
     return op.completed_phase();
@@ -137,18 +182,19 @@ class HcfEngine {
   PubArray& publication_array(std::size_t i) noexcept { return *arrays_[i]; }
   std::size_t num_arrays() const noexcept { return arrays_.size(); }
   std::size_t num_classes() const noexcept { return classes_.size(); }
-  const ClassConfig& class_config(std::size_t cls) const noexcept {
-    return classes_[cls];
+  ClassConfig class_config(std::size_t cls) const noexcept {
+    return {classes_[cls].array, classes_[cls].policy.load()};
   }
 
   // Dynamic reconfiguration (§2.4: "the customization may be dynamic").
   // Configuration affects only performance, never correctness, so this may
-  // race with concurrent execute() calls: a reader of a half-updated policy
+  // overlap with concurrent execute() calls: the policy fields are relaxed
+  // atomics (detail::AtomicPolicy), and a reader of a half-updated policy
   // merely runs one operation with a hybrid trial budget. The publication
   // array assignment is intentionally NOT changeable here — moving a class
   // between arrays while its ops are announced would need a handshake.
   void set_class_policy(std::size_t cls, const PhasePolicy& policy) noexcept {
-    classes_[cls].policy = policy;
+    classes_[cls].policy.store(policy);
   }
 
  private:
@@ -329,8 +375,15 @@ class HcfEngine {
     return ops;
   }
 
+  // Internal mirror of ClassConfig with an atomically-updatable policy.
+  struct ClassSlot {
+    explicit ClassSlot(const ClassConfig& c) : array(c.array), policy(c.policy) {}
+    std::size_t array;
+    detail::AtomicPolicy policy;
+  };
+
   DS& ds_;
-  std::vector<ClassConfig> classes_;
+  std::vector<ClassSlot> classes_;
   std::vector<std::unique_ptr<PubArray>> arrays_;
   Lock lock_;
   EngineStats stats_;

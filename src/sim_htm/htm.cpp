@@ -72,6 +72,7 @@ void extend_snapshot(Txn& t) {
 void begin_txn(Txn& t) {
   assert(!t.active);
   t.active = true;
+  t.subscribed = false;
   t.depth = 1;
   t.tid = util::this_thread_id();
   t.last_abort = AbortCode::None;
@@ -108,6 +109,9 @@ namespace {
 
 void release_acquired(Txn& t, bool bump) noexcept {
   for (auto it = t.acquired.rbegin(); it != t.acquired.rend(); ++it) {
+    // Publish the write-back to transactional readers: their post-load orec
+    // validation runs HCF_TSAN_ACQUIRE on the same orec (htm.hpp, read()).
+    HCF_TSAN_RELEASE(it->orec);
     it->orec->store(bump ? it->old_version + 2 : it->old_version,
                     std::memory_order_seq_cst);
   }
@@ -170,6 +174,7 @@ void commit_txn(Txn& t) {
     --t.depth;
     return;
   }
+  protocol::check_commit_subscription(t.subscribed);
 
   if (t.write_set.empty()) {
     // Read-only: the incremental epoch checks kept the snapshot consistent;
@@ -206,6 +211,9 @@ void commit_txn(Txn& t) {
   // violation, caught by HtmOpacity.InvariantNeverObservedBroken).
   global_epoch().fetch_add(1, std::memory_order_seq_cst);
   release_acquired(t, /*bump=*/true);
+  // Publish the completed write-back to lock acquirers spinning in
+  // wait_writeback_drain (they HCF_TSAN_ACQUIRE the counter on exit).
+  HCF_TSAN_RELEASE(&writeback_count());
   writeback_count().fetch_sub(1, std::memory_order_seq_cst);
 
   finish_commit_bookkeeping(t);
@@ -233,6 +241,8 @@ std::uint64_t strong_lock_orec(std::atomic<std::uint64_t>& orec) noexcept {
     if (!is_locked(cur) &&
         orec.compare_exchange_weak(cur, kStrongTag,
                                    std::memory_order_seq_cst)) {
+      // Import the previous owner's write-back (commit or strong store).
+      HCF_TSAN_ACQUIRE(&orec);
       return cur;
     }
     util::cpu_relax();
@@ -244,6 +254,7 @@ void strong_unlock_orec(std::atomic<std::uint64_t>& orec, std::uint64_t ver,
   // Same ordering requirement as commit write-back: epoch before release,
   // so any transaction that can observe the new value must revalidate.
   if (bump) global_epoch().fetch_add(1, std::memory_order_seq_cst);
+  HCF_TSAN_RELEASE(&orec);
   orec.store(bump ? ver + 2 : ver, std::memory_order_seq_cst);
 }
 
@@ -253,6 +264,9 @@ void wait_writeback_drain() noexcept {
   while (detail::writeback_count().load(std::memory_order_seq_cst) != 0) {
     util::cpu_relax();
   }
+  // Quiescence gate: everything written back by the drained transactions is
+  // now visible to this (lock-holding) thread's uninstrumented accesses.
+  HCF_TSAN_ACQUIRE(&detail::writeback_count());
 }
 
 }  // namespace hcf::htm

@@ -44,7 +44,9 @@
 #include "mem/ebr.hpp"
 #include "sim_htm/abort.hpp"
 #include "sim_htm/config.hpp"
+#include "sim_htm/protocol_check.hpp"
 #include "sim_htm/stats.hpp"
+#include "sim_htm/tsan.hpp"
 #include "util/rng.hpp"
 #include "util/thread_id.hpp"
 
@@ -102,6 +104,10 @@ struct CleanupEntry {
 
 struct Txn {
   bool active = false;
+  // Set by elidable-lock subscribe() calls; consumed by the protocol
+  // checker's commit check. Maintained unconditionally (one byte, one
+  // store per subscription) so all build flavours share one Txn layout.
+  bool subscribed = false;
   std::uint32_t depth = 0;
   std::size_t tid = 0;
   std::uint64_t snapshot_epoch = 0;
@@ -202,6 +208,7 @@ inline AbortCode last_abort_code() noexcept { return detail::txn().last_abort; }
 // under-lock / sequential fast path).
 template <detail::TxValue T>
 inline T read(const T* addr) {
+  protocol::check_access_alignment(addr, sizeof(T));
   auto& t = detail::txn();
   if (!t.active) return detail::atomic_load_acquire(addr);
   ++t.n_reads;
@@ -218,6 +225,10 @@ inline T read(const T* addr) {
   const T value = detail::atomic_load_acquire(addr);
   const std::uint64_t v2 = orec.load(std::memory_order_seq_cst);
   if (v1 != v2) detail::throw_abort(AbortCode::Conflict);
+  // A stable orec around the load means we read a committed value; import
+  // the committing thread's writes (it ran HCF_TSAN_RELEASE on this orec
+  // before releasing it). No-op outside TSan builds; see tsan.hpp.
+  HCF_TSAN_ACQUIRE(&orec);
 
   // Cheap dedup against the most recent entries keeps read sets compact in
   // pointer-chasing loops without an O(n) scan.
@@ -249,6 +260,7 @@ inline T read(const T* addr) {
 // plain atomic store.
 template <detail::TxValue T>
 inline void write(T* addr, T value) {
+  protocol::check_access_alignment(addr, sizeof(T));
   auto& t = detail::txn();
   if (!t.active) {
     detail::atomic_store_release(addr, value);
@@ -339,7 +351,9 @@ inline T strong_load(const T* addr) noexcept {
 
 template <detail::TxValue T>
 inline void strong_store(T* addr, T value) noexcept {
-  assert(!in_txn() && "strong operations are not allowed inside a txn");
+  protocol::check_strong_op(in_txn(), "strong_store");
+  assert(protocol::kEnabled ||
+         (!in_txn() && "strong operations are not allowed inside a txn"));
   auto& orec = detail::orec_for(addr);
   const std::uint64_t ver = detail::strong_lock_orec(orec);
   detail::atomic_store_release(addr, value);
@@ -349,7 +363,9 @@ inline void strong_store(T* addr, T value) noexcept {
 
 template <detail::TxValue T>
 inline bool strong_cas(T* addr, T expected, T desired) noexcept {
-  assert(!in_txn() && "strong operations are not allowed inside a txn");
+  protocol::check_strong_op(in_txn(), "strong_cas");
+  assert(protocol::kEnabled ||
+         (!in_txn() && "strong operations are not allowed inside a txn"));
   auto& orec = detail::orec_for(addr);
   const std::uint64_t ver = detail::strong_lock_orec(orec);
   const T cur = detail::atomic_load_acquire(addr);
@@ -365,7 +381,9 @@ inline bool strong_cas(T* addr, T expected, T desired) noexcept {
 
 template <detail::TxValue T>
 inline T strong_fetch_add(T* addr, T delta) noexcept {
-  assert(!in_txn() && "strong operations are not allowed inside a txn");
+  protocol::check_strong_op(in_txn(), "strong_fetch_add");
+  assert(protocol::kEnabled ||
+         (!in_txn() && "strong operations are not allowed inside a txn"));
   auto& orec = detail::orec_for(addr);
   const std::uint64_t ver = detail::strong_lock_orec(orec);
   const T cur = detail::atomic_load_acquire(addr);
@@ -380,6 +398,14 @@ inline T strong_fetch_add(T* addr, T delta) noexcept {
 // validating after that point sees the bumped lock orec and aborts, and
 // this wait flushes the ones that had already validated.
 void wait_writeback_drain() noexcept;
+
+// Called by elidable-lock subscribe() implementations (sync/tx_lock.hpp):
+// records, for the protocol checker, that the running transaction
+// subscribed to a lock. Cheap unconditional store; no-op outside a txn.
+inline void note_lock_subscription() noexcept {
+  auto& t = detail::txn();
+  if (t.active) t.subscribed = true;
+}
 
 // Test hook: number of live (active) transactions on this thread (0/1).
 inline std::uint32_t nesting_depth() noexcept { return detail::txn().depth; }

@@ -19,11 +19,22 @@ struct Stats {
   util::Counter tx_reads;
   util::Counter tx_writes;
   util::Counter strong_stores;
+  // Protocol-checker violation counters (sim_htm/protocol_check.hpp).
+  // Always present so release and checker builds share one layout; only
+  // bumped when HCF_CHECK_PROTOCOL is compiled in and the mode is Count.
+  util::Counter proto_strong_in_tx;
+  util::Counter proto_misaligned;
+  util::Counter proto_unsubscribed_commits;
 
   std::uint64_t total_aborts() const noexcept {
     std::uint64_t sum = 0;
     for (const auto& c : aborts) sum += c.total();
     return sum;
+  }
+
+  std::uint64_t total_protocol_violations() const noexcept {
+    return proto_strong_in_tx.total() + proto_misaligned.total() +
+           proto_unsubscribed_commits.total();
   }
 
   void reset() noexcept {
@@ -34,6 +45,9 @@ struct Stats {
     tx_reads.reset();
     tx_writes.reset();
     strong_stores.reset();
+    proto_strong_in_tx.reset();
+    proto_misaligned.reset();
+    proto_unsubscribed_commits.reset();
   }
 };
 

@@ -1,0 +1,51 @@
+// Explicit happens-before annotations for ThreadSanitizer.
+//
+// The simulator's orec protocol synchronizes exclusively through
+// std::atomic / std::atomic_ref operations, which TSan models natively, so
+// the tree is TSan-clean without any annotation. These macros make the
+// *protocol-level* edges explicit anyway:
+//
+//   * they survive refactors that weaken individual atomic orderings (e.g.
+//     replacing seq_cst orec releases with relaxed stores + fences, which
+//     TSan does not model) — the annotated edge keeps the report suppressed
+//     exactly where the protocol argues it is safe, and nowhere else;
+//   * they document, in code, which accesses the DESIGN.md happens-before
+//     argument leans on (commit write-back ordering and the quiescence
+//     gate), so a new TSan report is a real protocol race by construction.
+//
+// HCF_TSAN_RELEASE(addr) publishes everything the thread did so far to any
+// thread that later runs HCF_TSAN_ACQUIRE(addr) on the same address. Both
+// compile to nothing unless the build is TSan-instrumented (CMake defines
+// HCF_TSAN for -DHCF_SANITIZE=thread; compiler macros are auto-detected).
+#pragma once
+
+#if !defined(HCF_TSAN)
+#if defined(__SANITIZE_THREAD__)
+#define HCF_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define HCF_TSAN 1
+#endif
+#endif
+#endif
+
+#if defined(HCF_TSAN)
+
+extern "C" {
+void __tsan_acquire(void* addr);
+void __tsan_release(void* addr);
+}
+
+#define HCF_TSAN_ACQUIRE(addr) \
+  __tsan_acquire(const_cast<void*>(static_cast<const void*>(addr)))
+#define HCF_TSAN_RELEASE(addr) \
+  __tsan_release(const_cast<void*>(static_cast<const void*>(addr)))
+#define HCF_TSAN_ENABLED 1
+
+#else
+
+#define HCF_TSAN_ACQUIRE(addr) ((void)0)
+#define HCF_TSAN_RELEASE(addr) ((void)0)
+#define HCF_TSAN_ENABLED 0
+
+#endif

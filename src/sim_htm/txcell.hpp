@@ -8,6 +8,13 @@
 // Reads/writes go through htm::read / htm::write, which fall through to
 // plain atomic accesses outside transactions — so the *same* sequential
 // code runs speculatively, under the lock, and single-threaded.
+//
+// ThreadSanitizer: every access below compiles to a std::atomic /
+// std::atomic_ref operation, which TSan models natively; the protocol-level
+// happens-before edges (orec release on commit write-back, quiescence
+// drain) carry explicit HCF_TSAN_* annotations in htm.{hpp,cpp} — see
+// sim_htm/tsan.hpp and DESIGN.md §7. A TSan report on a TxCell/TxField
+// access is therefore a real protocol race, not instrumentation noise.
 #pragma once
 
 #include <type_traits>

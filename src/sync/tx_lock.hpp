@@ -50,13 +50,17 @@ class TxLock {
     if (word_.load() != 0) return false;
     if (!word_.cas(0, owner_word())) return false;
     acquisitions_.add();
+    htm::protocol::note_lock_acquired();
     // Doomed subscribers are now guaranteed to fail validation; flush the
     // transactions that validated before our CAS.
     htm::wait_writeback_drain();
     return true;
   }
 
-  void unlock() noexcept { word_.store(0); }
+  void unlock() noexcept {
+    htm::protocol::note_lock_released();
+    word_.store(0);
+  }
 
   // Non-transactional probe.
   bool is_locked() const noexcept { return word_.load() != 0; }
@@ -64,6 +68,7 @@ class TxLock {
   // Inside a transaction: joins the lock word to the read set and aborts
   // immediately if the lock is held (the paper's `if (L.isLocked()) abortHT`).
   void subscribe() const {
+    htm::note_lock_subscription();
     if (word_.read() != 0) htm::abort_tx(htm::AbortCode::LockBusy);
   }
 
@@ -104,6 +109,7 @@ class FairTxLock {
     }
     held_.store(1);
     acquisitions_.add();
+    htm::protocol::note_lock_acquired();
     htm::wait_writeback_drain();
   }
 
@@ -116,11 +122,13 @@ class FairTxLock {
     }
     held_.store(1);
     acquisitions_.add();
+    htm::protocol::note_lock_acquired();
     htm::wait_writeback_drain();
     return true;
   }
 
   void unlock() noexcept {
+    htm::protocol::note_lock_released();
     held_.store(0);
     serving_.fetch_add(1, std::memory_order_acq_rel);
   }
@@ -128,6 +136,7 @@ class FairTxLock {
   bool is_locked() const noexcept { return held_.load() != 0; }
 
   void subscribe() const {
+    htm::note_lock_subscription();
     if (held_.read() != 0) htm::abort_tx(htm::AbortCode::LockBusy);
   }
 

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "ebr_drain_env.hpp"
+
 #include <set>
 #include <vector>
 

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "ebr_drain_env.hpp"
+
 #include <deque>
 #include <vector>
 

@@ -1,0 +1,24 @@
+// Sequential data-structure tests retire removed nodes through EBR but have
+// no reason to drain mid-test. LeakSanitizer scans after the domain's
+// per-thread retire lists are torn down, so retired-but-undrained nodes
+// would read as direct leaks. Including this header registers a gtest
+// environment that flushes the domain once, after the last test in the
+// process — mirroring the explicit drain() the concurrency tests do inline
+// (see docs/SANITIZERS.md, "Leak checking").
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "mem/ebr.hpp"
+
+namespace hcf::test {
+
+class DrainEbrAtExit : public ::testing::Environment {
+ public:
+  void TearDown() override { mem::EbrDomain::instance().drain(); }
+};
+
+inline ::testing::Environment* const kDrainEbrAtExit =
+    ::testing::AddGlobalTestEnvironment(new DrainEbrAtExit());
+
+}  // namespace hcf::test

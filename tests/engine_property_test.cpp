@@ -140,9 +140,9 @@ std::vector<SweepParam> sweep_params() {
 
 INSTANTIATE_TEST_SUITE_P(AllEnginesMixesThreads, EngineSweepTest,
                          ::testing::ValuesIn(sweep_params()),
-                         [](const auto& info) {
+                         [](const auto& param_info) {
                            std::ostringstream os;
-                           os << info.param;
+                           os << param_info.param;
                            std::string s = os.str();
                            for (char& c : s) {
                              if (c == '+' || c == '-') c = '_';

@@ -97,32 +97,39 @@ TYPED_TEST(EngineStackTest, SingleThreadLifo) {
 TEST(StackElimination, CombinerCancelsPushPopPairs) {
   // Force combining (FC engine selects everything); under a mixed
   // push/pop workload the elimination counter must rise, and accounting
-  // must stay exact.
+  // must stay exact. Whether a combiner ever sees a push and a pop in the
+  // same selection is scheduling-dependent (on a single hardware thread the
+  // batches can stay size-1 for a whole run), so repeat the workload until
+  // an elimination is observed, with a bounded retry count.
   St stack;
   for (std::uint64_t v = 1000; v < 1200; ++v) stack.push(v);
   core::FcEngine<St> engine(stack);
   using Base = adapters::StackOpBase<std::uint64_t>;
   Base::reset_eliminations();
 
-  std::vector<std::thread> threads;
   std::atomic<std::uint64_t> pop_hits{0};
-  for (int t = 0; t < 4; ++t) {
-    threads.emplace_back([&, t] {
-      util::Xoshiro256 rng(900 + t);
-      adapters::StackPushOp<std::uint64_t> push;
-      adapters::StackPopOp<std::uint64_t> pop;
-      for (int i = 0; i < 5000; ++i) {
-        if (rng.next_bounded(2) == 0) {
-          push.set(rng.next());
-          engine.execute(push);
-        } else {
-          engine.execute(pop);
-          if (pop.result().has_value()) pop_hits.fetch_add(1);
+  constexpr int kMaxAttempts = 10;
+  for (int attempt = 0;
+       attempt < kMaxAttempts && Base::eliminations() == 0; ++attempt) {
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([&, t, attempt] {
+        util::Xoshiro256 rng(900 + t + 131 * attempt);
+        adapters::StackPushOp<std::uint64_t> push;
+        adapters::StackPopOp<std::uint64_t> pop;
+        for (int i = 0; i < 5000; ++i) {
+          if (rng.next_bounded(2) == 0) {
+            push.set(rng.next());
+            engine.execute(push);
+          } else {
+            engine.execute(pop);
+            if (pop.result().has_value()) pop_hits.fetch_add(1);
+          }
         }
-      }
-    });
+      });
+    }
+    for (auto& th : threads) th.join();
   }
-  for (auto& th : threads) th.join();
   EXPECT_GT(Base::eliminations(), 0u);
   EXPECT_GT(pop_hits.load(), 0u);
   mem::EbrDomain::instance().drain();

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "ebr_drain_env.hpp"
+
 #include <memory>
 #include <unordered_map>
 #include <vector>

@@ -149,8 +149,11 @@ TEST(HtmConflict, TransactionsAndLockHoldersExclude) {
       for (int i = 0; i < kIters; ++i) {
         if ((i + t) % 4 == 0) {
           lock.lock();
-          // Plain access, as CombineUnderLock would do.
-          counter = counter + 1;
+          // Uninstrumented access, as CombineUnderLock would do: outside a
+          // txn, read/write lower to plain atomic loads/stores (the same
+          // fast path TxField takes), keeping the mixed-mode access defined
+          // while doomed subscribers may still be reading concurrently.
+          write(&counter, read(&counter) + 1);
           lock.unlock();
         } else {
           util::ExpBackoff backoff;

@@ -92,9 +92,16 @@ TEST(Quiescence, LockHolderPlainWritesNeverLost) {
       for (int i = 0; i < kIters; ++i) {
         if ((i + t) % 3 == 0) {
           lock.lock();
-          if (pair.a != pair.b) mismatches.fetch_add(1);
-          pair.a = pair.a + 1;
-          pair.b = pair.b + 1;
+          // Uninstrumented lock-holder access: outside a txn, read/write
+          // lower to plain atomic loads/stores (TxField's fast path). The
+          // stores must be atomic at the C++ level because doomed
+          // subscribers may still be executing speculative read()s of the
+          // same words; the quiescence property under test is unchanged.
+          const auto la = read(&pair.a);
+          const auto lb = read(&pair.b);
+          if (la != lb) mismatches.fetch_add(1);
+          write(&pair.a, la + 1);
+          write(&pair.b, lb + 1);
           lock.unlock();
         } else {
           for (;;) {

@@ -14,6 +14,7 @@
 #include "adapters/stack_ops.hpp"
 #include "core/engine.hpp"
 #include "mem/ebr.hpp"
+#include "sim_htm/tsan.hpp"
 #include "util/barrier.hpp"
 #include "util/rng.hpp"
 
@@ -269,23 +270,27 @@ TYPED_TEST(EngineLinearizabilityTest, SingleKeyHistoriesLinearizable) {
 // Sanity: the harness itself can detect a broken "structure" — a racy
 // non-atomic set where lost updates are expected under contention.
 TEST(EngineLinearizability, HarnessDetectsBrokenImplementation) {
+#if HCF_TSAN_ENABLED
+  GTEST_SKIP() << "intentional data race; TSan would (correctly) report it";
+#endif
   struct RacySet {
     volatile bool present = false;
   };
   struct RacyEngine {
     RacySet s;
-    // insert: returns true iff it believes it inserted (racy check).
+    // insert: returns true iff it believes it inserted (racy check). The
+    // yield() inside the read-modify-write window forces a preemption point
+    // so the lost-update race manifests even on a single hardware thread,
+    // where a busy-wait window is never preempted mid-operation.
     bool insert() {
       const bool was = s.present;
-      for (volatile int i = 0; i < 50; ++i) {  // widen the race window
-      }
+      std::this_thread::yield();  // widen the race window deterministically
       s.present = true;
       return !was;
     }
     bool remove() {
       const bool was = s.present;
-      for (volatile int i = 0; i < 50; ++i) {
-      }
+      std::this_thread::yield();
       s.present = false;
       return was;
     }

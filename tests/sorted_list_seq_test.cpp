@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "ebr_drain_env.hpp"
+
 #include <algorithm>
 #include <set>
 #include <vector>

@@ -1,0 +1,17 @@
+// lint:zone(tests)
+// Known-bad: blocking calls inside a transaction body. A transaction that
+// waits can deadlock against wait_writeback_drain (the lock holder spins on
+// the committing transaction, which spins on the lock holder).
+#include <thread>
+
+#include "sim_htm/htm.hpp"
+#include "sync/tx_lock.hpp"
+
+void blocking_inside_tx(hcf::sync::TxLock& lock, hcf::sync::TxLock& other) {
+  hcf::htm::attempt([&] {
+    lock.lock();                     // expect-lint: tx-blocking-call
+    (void)other.try_lock();          // expect-lint: tx-blocking-call
+    other.wait_until_free();         // expect-lint: tx-blocking-call
+    std::this_thread::yield();       // expect-lint: tx-blocking-call
+  });
+}

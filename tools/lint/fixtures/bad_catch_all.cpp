@@ -1,0 +1,30 @@
+// lint:zone(tests)
+// Known-bad: catch (...) without rethrow inside a transaction body. TxAbort
+// is how the simulator unwinds doomed transactions (htm.hpp usage
+// restrictions); swallowing it turns an abort into a zombie commit.
+#include "sim_htm/htm.hpp"
+
+int swallow_inside_tx(hcf::htm::TxCell<int>& cell) {
+  int v = 0;
+  hcf::htm::attempt([&] {
+    try {
+      v = cell.read();
+    } catch (...) {      // expect-lint: tx-catch-all
+      v = -1;            // TxAbort swallowed: the abort never propagates
+    }
+  });
+  return v;
+}
+
+int rethrow_is_fine(hcf::htm::TxCell<int>& cell) {
+  int v = 0;
+  hcf::htm::attempt([&] {
+    try {
+      v = cell.read();
+    } catch (...) {
+      v = -1;
+      throw;  // rethrow keeps the abort protocol intact
+    }
+  });
+  return v;
+}

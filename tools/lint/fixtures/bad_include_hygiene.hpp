@@ -1,0 +1,10 @@
+// expect-lint: pragma-once
+// lint:zone(src)
+// Known-bad: header without #pragma once, plus a parent-relative include.
+// (The pragma-once diagnostic is reported on line 1 by convention.)
+
+#include "../sim_htm/htm.hpp"  // expect-lint: include-parent
+
+namespace fixture {
+inline int answer() { return 42; }
+}  // namespace fixture

@@ -1,0 +1,28 @@
+// lint:zone(core)
+// Known-bad: an engine transaction that touches the data structure without
+// first subscribing to the elided lock — the lazy-subscription bug class
+// (Dice et al.): the transaction can commit concurrently with a lock
+// holder's un-instrumented writes.
+#pragma once
+
+#include "sim_htm/htm.hpp"
+#include "sync/tx_lock.hpp"
+
+namespace fixture {
+
+template <typename DS, typename Op>
+class UnsubscribedEngine {
+ public:
+  bool try_speculative(Op& op) {
+    return hcf::htm::attempt([&] {  // expect-lint: tx-subscribe-first
+      op.run_seq(ds_);
+      lock_.subscribe();  // too late: run_seq already read shared state
+    });
+  }
+
+ private:
+  DS ds_;
+  hcf::sync::TxLock lock_;
+};
+
+}  // namespace fixture

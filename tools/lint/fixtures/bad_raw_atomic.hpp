@@ -1,0 +1,21 @@
+// lint:zone(core)
+// Known-bad: raw std::atomic state in an engine. A strong store to this
+// word does not bump any orec, so subscribed transactions are NOT doomed —
+// the simulator's equivalent of writing to an elided location without
+// invalidating the speculating core's cache line.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+template <typename DS>
+class RawAtomicEngine {
+ private:
+  DS ds_;
+  std::atomic<std::uint32_t> status_{0};  // expect-lint: raw-atomic-in-core
+  std::atomic<bool> busy_{false};         // expect-lint: raw-atomic-in-core
+};
+
+}  // namespace fixture

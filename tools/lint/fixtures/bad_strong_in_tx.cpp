@@ -1,0 +1,16 @@
+// lint:zone(tests)
+// Known-bad: strong (dooming) mutations inside a transaction body. On real
+// HTM these self-abort; on the simulator they deadlock or corrupt the orec
+// protocol, which is why both the linter and HCF_CHECK_PROTOCOL flag them.
+#include "sim_htm/htm.hpp"
+#include "sim_htm/txcell.hpp"
+
+void strong_ops_inside_tx(hcf::htm::TxCell<int>& cell, int* word) {
+  hcf::htm::attempt([&] {
+    cell.store(1);                    // expect-lint: tx-strong-op
+    (void)cell.cas(1, 2);             // expect-lint: tx-strong-op
+    (void)cell.fetch_add(3);          // expect-lint: tx-strong-op
+    cell.store_plain(4);              // expect-lint: tx-strong-op
+    hcf::htm::strong_store(word, 5);  // expect-lint: tx-strong-op
+  });
+}

@@ -1,0 +1,21 @@
+// lint:zone(src)
+// Known-bad: library code (outside src/sim_htm/) calling htm::strong_*
+// directly instead of going through TxCell. TxCell is the single funnel for
+// strong mutations so the orec protocol stays auditable in one place.
+#pragma once
+
+#include <cstdint>
+
+#include "sim_htm/htm.hpp"
+
+namespace fixture {
+
+inline void publish(std::uint64_t* word) {
+  hcf::htm::strong_store(word, 1u);        // expect-lint: strong-outside-sim-htm
+}
+
+inline bool claim(std::uint64_t* word) {
+  return hcf::htm::strong_cas(word, 0u, 1u);  // expect-lint: strong-outside-sim-htm
+}
+
+}  // namespace fixture

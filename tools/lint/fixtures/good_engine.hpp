@@ -1,0 +1,36 @@
+// lint:zone(core)
+// Known-good engine idiom: every protocol rule satisfied. The selftest
+// asserts the linter emits exactly zero diagnostics for this file.
+#pragma once
+
+#include "sim_htm/htm.hpp"
+#include "sim_htm/txcell.hpp"
+#include "sync/tx_lock.hpp"
+
+namespace fixture {
+
+template <typename DS, typename Op>
+class GoodEngine {
+ public:
+  bool try_speculative(Op& op) {
+    lock_.wait_until_free();
+    const bool committed = hcf::htm::attempt([&] {
+      lock_.subscribe();
+      if (op.status_tx() != 0) hcf::htm::abort_tx();
+      op.run_seq(ds_);
+      slot_.tx_write(nullptr);  // buffered: commits with the op's effect
+    });
+    return committed;
+  }
+
+  void announce(Op* op) {
+    slot_.store(op);  // strong store outside any transaction: fine
+  }
+
+ private:
+  DS ds_;
+  hcf::sync::TxLock lock_;
+  hcf::htm::TxCell<Op*> slot_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// lint:zone(tests)
+// Known-good: deliberate violations carrying lint:allow suppressions, the
+// escape hatch negative tests use. The selftest asserts zero diagnostics.
+#include "sim_htm/htm.hpp"
+#include "sim_htm/txcell.hpp"
+
+void provoke_strong_in_tx(hcf::htm::TxCell<int>& cell) {
+  hcf::htm::attempt([&] {
+    cell.store(1);  // lint:allow(tx-strong-op) — provoked on purpose
+  });
+}
+
+void tests_need_no_subscription(hcf::htm::TxCell<int>& cell) {
+  // tx-subscribe-first is scoped to src/core/: raw simulator tests
+  // exercise transactions with no lock at all.
+  hcf::htm::attempt([&] { (void)cell.read(); });
+}

@@ -1,0 +1,395 @@
+#!/usr/bin/env python3
+"""HCF protocol linter: mechanical enforcement of the simulated-HTM usage
+restrictions that src/sim_htm/htm.hpp documents.
+
+The simulator gives opacity and strong isolation only when callers follow
+its protocol; breaking it does not fail fast, it corrupts data under
+contention. This linter walks C++ sources and enforces the repo invariants
+lexically (regex + brace matching on comment/string-stripped text — no
+compiler dependency, by design):
+
+  pragma-once            every header starts with #pragma once
+  include-parent         no '..' segments in quoted includes (project
+                         includes are root-relative)
+  strong-outside-sim-htm htm::strong_* may only be called inside
+                         src/sim_htm/ (everyone else goes through TxCell)
+  raw-atomic-in-core     no raw std::atomic state in src/core/ — engine
+                         shared state must be a TxCell so mutations doom
+                         subscribed transactions
+  tx-blocking-call       no blocking/waiting calls inside an htm::attempt
+                         transaction body
+  tx-catch-all           no catch (...) without rethrow inside a
+                         transaction body
+  tx-strong-op           no strong mutations (TxCell store/cas/fetch_add,
+                         htm::strong_*) inside a transaction body
+  tx-subscribe-first     in src/core/ engines, a transaction body's first
+                         statement must subscribe to the elided lock
+
+Suppressions (for deliberate violations, e.g. negative tests):
+  // lint:allow(rule-id)       — suppress rule-id on this line
+  // lint:allow-file(rule-id)  — suppress rule-id in this file
+  // lint:zone(core)           — override the path-derived zone (fixtures)
+
+Diagnostics are 'file:line: [rule-id] message'; exit status is non-zero iff
+any diagnostic was emitted. Lexical limits: the transaction-body rules see
+only the text of the lambda itself, not functions it calls.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+
+HEADER_EXTS = {".hpp", ".h", ".hh", ".hxx"}
+SOURCE_EXTS = HEADER_EXTS | {".cpp", ".cc", ".cxx"}
+
+ALLOW_LINE_RE = re.compile(r"lint:allow\(([a-z0-9-]+)\)")
+ALLOW_FILE_RE = re.compile(r"lint:allow-file\(([a-z0-9-]+)\)")
+ZONE_RE = re.compile(r"lint:zone\((sim_htm|core|src|tests|other)\)")
+
+STRONG_CALL_RE = re.compile(
+    r"\b(?:htm::)?(strong_store|strong_cas|strong_fetch_add|strong_load)\s*\(")
+RAW_ATOMIC_RE = re.compile(r"\bstd::atomic(?:_ref)?\s*<")
+PRAGMA_ONCE_RE = re.compile(r"^\s*#\s*pragma\s+once\b")
+INCLUDE_PARENT_RE = re.compile(r'^\s*#\s*include\s+"[^"]*\.\./')
+ATTEMPT_RE = re.compile(r"\bhtm::attempt\s*\(")
+
+# Calls that block or wait; none may appear inside a transaction body.
+# A transaction that blocks can deadlock against the quiescence gate
+# (wait_writeback_drain spins while our commit is pending) and, on real
+# HTM, would simply abort.
+BLOCKING_RES = [
+    (re.compile(r"(?:\.|->)lock\s*\("), "lock acquisition"),
+    (re.compile(r"\btry_lock\s*\("), "lock acquisition"),
+    (re.compile(r"\bLockGuard\b"), "lock guard"),
+    (re.compile(r"\bstd::(?:mutex|shared_mutex|condition_variable)\b"),
+     "OS synchronization primitive"),
+    (re.compile(r"\bwait_done\s*\("), "waiting on another operation"),
+    (re.compile(r"\bwait_until_free\s*\("), "waiting on a lock"),
+    (re.compile(r"\bwait_writeback_drain\s*\("), "waiting on quiescence"),
+    (re.compile(r"(?:\.|->)join\s*\("), "thread join"),
+    (re.compile(r"\bsleep(?:_for|_until)?\s*\("), "sleeping"),
+    (re.compile(r"\bstd::this_thread::yield\s*\("), "yielding"),
+    (re.compile(r"\barrive_and_wait\s*\("), "barrier wait"),
+]
+
+# Strong (non-transactional) mutations: dooming operations that must never
+# run from inside a transaction (protocol_check.hpp traps these at runtime;
+# this is the static half of the same check). `.store(`/.cas(/.fetch_add(
+# are the TxCell mutator spellings.
+TX_STRONG_RES = [
+    (re.compile(r"\bstrong_(?:store|cas|fetch_add)\s*\("), "htm::strong_*"),
+    (re.compile(r"(?:\.|->)store\s*\("), "TxCell::store"),
+    (re.compile(r"(?:\.|->)store_plain\s*\("), "TxCell::store_plain"),
+    (re.compile(r"(?:\.|->)cas\s*\("), "TxCell::cas"),
+    (re.compile(r"(?:\.|->)fetch_add\s*\("), "TxCell::fetch_add"),
+]
+
+SUBSCRIBE_RE = re.compile(r"\bsubscribe\s*\(\s*\)")
+
+
+class Diagnostic:
+    def __init__(self, path: str, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments, string and char literals, preserving newlines and
+    column positions so offsets keep mapping to file lines."""
+    out = []
+    i, n = 0, len(text)
+    mode = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if mode == "code":
+            if c == "/" and nxt == "/":
+                mode = "line_comment"
+                out.append("  ")
+                i += 2
+            elif c == "/" and nxt == "*":
+                mode = "block_comment"
+                out.append("  ")
+                i += 2
+            elif c == '"':
+                mode = "string"
+                out.append(" ")
+                i += 1
+            elif c == "'":
+                mode = "char"
+                out.append(" ")
+                i += 1
+            else:
+                out.append(c)
+                i += 1
+        elif mode == "line_comment":
+            if c == "\n":
+                mode = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+            i += 1
+        elif mode == "block_comment":
+            if c == "*" and nxt == "/":
+                mode = "code"
+                out.append("  ")
+                i += 2
+            else:
+                out.append("\n" if c == "\n" else " ")
+                i += 1
+        else:  # string or char
+            quote = '"' if mode == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+            elif c == quote:
+                mode = "code"
+                out.append(" ")
+                i += 1
+            else:
+                out.append("\n" if c == "\n" else " ")
+                i += 1
+    return "".join(out)
+
+
+def zone_for(path: str, raw_text: str) -> str:
+    """Classify a file into a rule-scoping zone from its path, with a
+    lint:zone(...) override for fixture files."""
+    m = ZONE_RE.search(raw_text)
+    if m:
+        return m.group(1)
+    norm = path.replace(os.sep, "/")
+    if "/src/sim_htm/" in norm or norm.startswith("src/sim_htm/"):
+        return "sim_htm"
+    if "/src/core/" in norm or norm.startswith("src/core/"):
+        return "core"
+    if "/src/" in norm or norm.startswith("src/"):
+        return "src"
+    if "/tests/" in norm or norm.startswith("tests/"):
+        return "tests"
+    return "other"
+
+
+class FileLinter:
+    def __init__(self, path: str, raw_text: str):
+        self.path = path
+        self.raw = raw_text
+        self.raw_lines = raw_text.splitlines()
+        self.stripped = strip_comments_and_strings(raw_text)
+        self.lines = self.stripped.splitlines()
+        self.zone = zone_for(path, raw_text)
+        self.file_allows = set(ALLOW_FILE_RE.findall(raw_text))
+        self.line_allows = {}  # line number (1-based) -> set of rule ids
+        for idx, line in enumerate(self.raw_lines, start=1):
+            rules = ALLOW_LINE_RE.findall(line)
+            if rules:
+                self.line_allows[idx] = set(rules)
+        self.diags: list[Diagnostic] = []
+
+    def report(self, line: int, rule: str, message: str) -> None:
+        if rule in self.file_allows:
+            return
+        if rule in self.line_allows.get(line, set()):
+            return
+        self.diags.append(Diagnostic(self.path, line, rule, message))
+
+    # -- offset helpers ----------------------------------------------------
+
+    def line_of(self, offset: int) -> int:
+        return self.stripped.count("\n", 0, offset) + 1
+
+    def match_brace(self, open_idx: int) -> int:
+        """Index of the '}' matching the '{' at open_idx, or -1."""
+        depth = 0
+        for i in range(open_idx, len(self.stripped)):
+            c = self.stripped[i]
+            if c == "{":
+                depth += 1
+            elif c == "}":
+                depth -= 1
+                if depth == 0:
+                    return i
+        return -1
+
+    # -- rules -------------------------------------------------------------
+
+    def check_pragma_once(self) -> None:
+        _, ext = os.path.splitext(self.path)
+        if ext not in HEADER_EXTS:
+            return
+        for line in self.raw_lines:
+            if PRAGMA_ONCE_RE.match(line):
+                return
+        self.report(1, "pragma-once", "header is missing '#pragma once'")
+
+    def check_includes(self) -> None:
+        for idx, line in enumerate(self.raw_lines, start=1):
+            if INCLUDE_PARENT_RE.match(line):
+                self.report(idx, "include-parent",
+                            "include path uses '..'; project includes are "
+                            "root-relative (see CMake include_directories)")
+
+    def check_strong_outside_sim_htm(self) -> None:
+        if self.zone not in ("src", "core"):
+            return
+        for m in STRONG_CALL_RE.finditer(self.stripped):
+            self.report(
+                self.line_of(m.start()), "strong-outside-sim-htm",
+                f"direct call to htm::{m.group(1)}; engine-shared words "
+                "must be TxCell so strong mutations doom subscribed "
+                "transactions")
+
+    def check_raw_atomic_in_core(self) -> None:
+        if self.zone != "core":
+            return
+        for m in RAW_ATOMIC_RE.finditer(self.stripped):
+            self.report(
+                self.line_of(m.start()), "raw-atomic-in-core",
+                "raw std::atomic in an engine; shared engine state must go "
+                "through TxCell (or carry a lint:allow with justification "
+                "if it is never read transactionally)")
+
+    def tx_bodies(self):
+        """Yield (start_offset, end_offset) of every htm::attempt lambda
+        body (offsets of '{' and its matching '}')."""
+        for m in ATTEMPT_RE.finditer(self.stripped):
+            open_idx = self.stripped.find("{", m.end())
+            if open_idx < 0:
+                continue
+            close_idx = self.match_brace(open_idx)
+            if close_idx < 0:
+                continue
+            yield open_idx, close_idx
+
+    def check_tx_bodies(self) -> None:
+        for open_idx, close_idx in self.tx_bodies():
+            body = self.stripped[open_idx + 1:close_idx]
+            base = open_idx + 1
+
+            for rx, what in BLOCKING_RES:
+                for m in rx.finditer(body):
+                    self.report(
+                        self.line_of(base + m.start()), "tx-blocking-call",
+                        f"{what} inside a transaction body; transactions "
+                        "must never block (deadlocks against the "
+                        "quiescence gate)")
+
+            for rx, what in TX_STRONG_RES:
+                for m in rx.finditer(body):
+                    self.report(
+                        self.line_of(base + m.start()), "tx-strong-op",
+                        f"{what} inside a transaction body; strong "
+                        "mutations must run outside transactions "
+                        "(use tx_write for buffered writes)")
+
+            self.check_catch_all(body, base)
+
+            if self.zone == "core":
+                self.check_subscribe_first(body, base)
+
+    def check_catch_all(self, body: str, base: int) -> None:
+        for m in re.finditer(r"\bcatch\s*\(\s*\.\.\.\s*\)", body):
+            open_idx = body.find("{", m.end())
+            if open_idx < 0:
+                continue
+            depth = 0
+            close_idx = -1
+            for i in range(open_idx, len(body)):
+                if body[i] == "{":
+                    depth += 1
+                elif body[i] == "}":
+                    depth -= 1
+                    if depth == 0:
+                        close_idx = i
+                        break
+            handler = body[open_idx:close_idx] if close_idx > 0 else ""
+            if not re.search(r"\bthrow\s*;", handler):
+                self.report(
+                    self.line_of(base + m.start()), "tx-catch-all",
+                    "catch (...) without rethrow inside a transaction "
+                    "body; swallowing TxAbort breaks the abort protocol")
+
+    def check_subscribe_first(self, body: str, base: int) -> None:
+        first_stmt_end = body.find(";")
+        first_stmt = body[:first_stmt_end] if first_stmt_end >= 0 else body
+        if not SUBSCRIBE_RE.search(first_stmt):
+            self.report(
+                self.line_of(base), "tx-subscribe-first",
+                "engine transaction body must subscribe to the elided "
+                "lock in its first statement (TLE discipline: the lock "
+                "word joins the read set before any data access)")
+
+    def run(self) -> list[Diagnostic]:
+        self.check_pragma_once()
+        self.check_includes()
+        self.check_strong_outside_sim_htm()
+        self.check_raw_atomic_in_core()
+        self.check_tx_bodies()
+        return self.diags
+
+
+def collect_files(paths: list[str]) -> list[str]:
+    files = []
+    for p in paths:
+        if not os.path.exists(p):
+            raise FileNotFoundError(p)
+        if os.path.isfile(p):
+            files.append(p)
+            continue
+        for root, dirs, names in os.walk(p):
+            dirs[:] = sorted(d for d in dirs
+                             if not d.startswith(("build", ".")))
+            for name in sorted(names):
+                _, ext = os.path.splitext(name)
+                if ext in SOURCE_EXTS:
+                    files.append(os.path.join(root, name))
+    return files
+
+
+def lint_paths(paths: list[str]) -> list[Diagnostic]:
+    diags = []
+    for path in collect_files(paths):
+        try:
+            with open(path, encoding="utf-8", errors="replace") as f:
+                text = f.read()
+        except OSError as e:
+            print(f"{path}: cannot read: {e}", file=sys.stderr)
+            continue
+        diags.extend(FileLinter(path, text).run())
+    return diags
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        description="Lint C++ sources for HCF/simulated-HTM protocol "
+                    "violations.")
+    parser.add_argument("paths", nargs="+",
+                        help="files or directories to lint")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="suppress the summary line")
+    args = parser.parse_args(argv)
+
+    try:
+        diags = lint_paths(args.paths)
+    except FileNotFoundError as e:
+        # A typo'd path must not read as "0 diagnostics, all clean".
+        print(f"hcf_lint: error: no such file or directory: {e.args[0]}",
+              file=sys.stderr)
+        return 2
+    for d in diags:
+        print(d)
+    if not args.quiet:
+        print(f"hcf_lint: {len(diags)} diagnostic(s)", file=sys.stderr)
+    return 1 if diags else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Selftest for hcf_lint.py: lints every fixture under fixtures/ and
+asserts the emitted diagnostics match the `// expect-lint: rule-id` markers
+exactly (file, line, and rule). Fixtures named good_* carry no markers and
+must produce zero diagnostics; fixtures named bad_* must make the linter
+fail with precisely the marked diagnostics — no more, no less.
+
+Run directly or via the `lint_selftest` CTest entry. Exit 0 iff every
+fixture behaves as marked.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import hcf_lint  # noqa: E402
+
+FIXTURES = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "fixtures")
+EXPECT_RE = re.compile(r"expect-lint:\s*([a-z0-9-]+(?:\s*,\s*[a-z0-9-]+)*)")
+
+
+def expected_diags(path: str) -> set[tuple[int, str]]:
+    expected = set()
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, start=1):
+            m = EXPECT_RE.search(line)
+            if not m:
+                continue
+            for rule in re.split(r"\s*,\s*", m.group(1)):
+                expected.add((lineno, rule))
+    return expected
+
+
+def main() -> int:
+    fixtures = sorted(
+        os.path.join(FIXTURES, name)
+        for name in os.listdir(FIXTURES)
+        if os.path.splitext(name)[1] in hcf_lint.SOURCE_EXTS)
+    if not fixtures:
+        print("selftest: no fixtures found", file=sys.stderr)
+        return 1
+
+    failures = 0
+    for path in fixtures:
+        name = os.path.basename(path)
+        expected = expected_diags(path)
+        actual = {(d.line, d.rule) for d in hcf_lint.lint_paths([path])}
+
+        if name.startswith("good_") and expected:
+            print(f"FAIL {name}: good fixture carries expect-lint markers")
+            failures += 1
+            continue
+        if name.startswith("bad_") and not expected:
+            print(f"FAIL {name}: bad fixture has no expect-lint markers")
+            failures += 1
+            continue
+
+        if actual == expected:
+            verdict = "clean" if not expected else f"{len(expected)} diags"
+            print(f"ok   {name}: {verdict}")
+            continue
+
+        failures += 1
+        print(f"FAIL {name}:")
+        for line, rule in sorted(expected - actual):
+            print(f"  missing   line {line}: [{rule}]")
+        for line, rule in sorted(actual - expected):
+            print(f"  unexpected line {line}: [{rule}]")
+
+    if failures:
+        print(f"selftest: {failures} fixture(s) failed", file=sys.stderr)
+        return 1
+    print(f"selftest: {len(fixtures)} fixtures ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
