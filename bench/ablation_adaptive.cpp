@@ -39,6 +39,7 @@ harness::RunResult run_one(Engine& engine, const harness::WorkloadSpec& spec,
 
 int main(int argc, char** argv) {
   auto opts = hcf::bench::BenchOptions::parse(argc, argv);
+  hcf::bench::BenchReport report(opts, "ablation_adaptive");
   bench::print_header(
       "Ablation: adaptive policy",
       "AVL set; fixed policies vs the adaptive controller (Mops/s)");
@@ -72,9 +73,10 @@ int main(int argc, char** argv) {
       {
         auto tree = make_tree(range);
         core::HcfEngine<Tree> e(*tree, adapters::avl_paper_config(), 1);
-        row.push_back(util::TextTable::num(
-            run_one(e, scenario.spec, threads, opts.driver)
-                .throughput_mops()));
+        const auto result = run_one(e, scenario.spec, threads, opts.driver);
+        report.add(scenario.spec.label(), "HCF(2,3,5)", threads,
+                   scenario.spec.cs_work, result);
+        row.push_back(util::TextTable::num(result.throughput_mops()));
         mem::EbrDomain::instance().drain();
       }
       {
@@ -82,9 +84,10 @@ int main(int argc, char** argv) {
         core::HcfEngine<Tree> e(
             *tree, {core::ClassConfig{0, core::PhasePolicy{8, 1, 1, true}}},
             1);
-        row.push_back(util::TextTable::num(
-            run_one(e, scenario.spec, threads, opts.driver)
-                .throughput_mops()));
+        const auto result = run_one(e, scenario.spec, threads, opts.driver);
+        report.add(scenario.spec.label(), "HCF-TLE-like", threads,
+                   scenario.spec.cs_work, result);
+        row.push_back(util::TextTable::num(result.throughput_mops()));
         mem::EbrDomain::instance().drain();
       }
       {
@@ -92,18 +95,20 @@ int main(int argc, char** argv) {
         core::HcfEngine<Tree> e(
             *tree,
             {core::ClassConfig{0, core::PhasePolicy::combine_first()}}, 1);
-        row.push_back(util::TextTable::num(
-            run_one(e, scenario.spec, threads, opts.driver)
-                .throughput_mops()));
+        const auto result = run_one(e, scenario.spec, threads, opts.driver);
+        report.add(scenario.spec.label(), "HCF-combine-first", threads,
+                   scenario.spec.cs_work, result);
+        row.push_back(util::TextTable::num(result.throughput_mops()));
         mem::EbrDomain::instance().drain();
       }
       {
         auto tree = make_tree(range);
         core::AdaptiveHcfEngine<Tree> e(*tree, adapters::avl_paper_config(),
                                         1);
-        row.push_back(util::TextTable::num(
-            run_one(e, scenario.spec, threads, opts.driver)
-                .throughput_mops()));
+        const auto result = run_one(e, scenario.spec, threads, opts.driver);
+        report.add(scenario.spec.label(), "HCF-adaptive", threads,
+                   scenario.spec.cs_work, result);
+        row.push_back(util::TextTable::num(result.throughput_mops()));
         const char* lean = "balanced";
         if (e.current_lean(0) ==
             core::AdaptiveHcfEngine<Tree>::Lean::Speculative) {
@@ -119,5 +124,5 @@ int main(int argc, char** argv) {
     }
     table.print(std::cout);
   }
-  return 0;
+  return report.finish();
 }

@@ -48,6 +48,7 @@ std::unique_ptr<Tree> make_prefilled_tree() {
 
 int main(int argc, char** argv) {
   auto opts = hcf::bench::BenchOptions::parse(argc, argv);
+  hcf::bench::BenchReport report(opts, "ablation_hcf_variants");
   bench::print_header("Ablation: HCF variants",
                       "AVL set, 0% Find, Zipf 0.9 (Mops/s)");
 
@@ -72,6 +73,7 @@ int main(int argc, char** argv) {
                                                              11 + t);
           },
           opts.driver);
+      report.add(spec.label(), "HCF", threads, spec.cs_work, r);
       row.push_back(util::TextTable::num(r.throughput_mops()));
       mem::EbrDomain::instance().drain();
     }
@@ -88,6 +90,7 @@ int main(int argc, char** argv) {
                                       typename NC::Remove>(e, spec, 23 + t);
           },
           opts.driver);
+      report.add(spec.label(), "HCF-nocomb", threads, spec.cs_work, r);
       row.push_back(util::TextTable::num(r.throughput_mops()));
       mem::EbrDomain::instance().drain();
     }
@@ -104,6 +107,7 @@ int main(int argc, char** argv) {
                 e, spec, 37 + t);
           },
           opts.driver);
+      report.add(spec.label(), "HCF-help-all", threads, spec.cs_work, r);
       row.push_back(util::TextTable::num(r.throughput_mops()));
       mem::EbrDomain::instance().drain();
     }
@@ -118,11 +122,12 @@ int main(int argc, char** argv) {
                 e, spec, 41 + t);
           },
           opts.driver);
+      report.add(spec.label(), "HCF-1C", threads, spec.cs_work, r);
       row.push_back(util::TextTable::num(r.throughput_mops()));
       mem::EbrDomain::instance().drain();
     }
     table.add_row(std::move(row));
   }
   table.print(std::cout);
-  return 0;
+  return report.finish();
 }

@@ -48,6 +48,7 @@ harness::RunResult run_with_policy(const core::PhasePolicy& insert_policy,
 
 int main(int argc, char** argv) {
   auto opts = hcf::bench::BenchOptions::parse(argc, argv);
+  hcf::bench::BenchReport report(opts, "ablation_trials");
   bench::print_header(
       "Ablation: phase trial budgets",
       "HT 40% Find; Insert-class (private,visible,combining) splits");
@@ -80,10 +81,11 @@ int main(int argc, char** argv) {
     for (const auto& v : variants) {
       const auto result = run_with_policy(v.policy, spec, threads,
                                           opts.driver);
+      report.add(spec.label(), v.name, threads, spec.cs_work, result);
       row.push_back(util::TextTable::num(result.throughput_mops()));
     }
     table.add_row(std::move(row));
   }
   table.print(std::cout);
-  return 0;
+  return report.finish();
 }

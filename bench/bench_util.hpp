@@ -7,20 +7,61 @@
 //   --quick             short run (100ms windows, threads 1,2,4)
 //   --extended          adds the paper's beyond-one-socket thread counts
 //   --workload=NAME     restrict to one workload where applicable
+//   --cs-work=N         fix the critical-section work parameter
+//   --json=FILE         also write results as hcf-bench-v1 JSON (report.hpp)
+//   --trace=FILE        enable telemetry and write a Chrome trace_event file
+//   --report-interval-ms=N  periodic progress lines on stderr mid-window
+//
+// Unknown options and malformed numbers are hard errors (exit 2): a sweep
+// script that typos a flag must fail loudly, not silently run the default
+// configuration for an hour.
 #pragma once
 
+#include <cerrno>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "harness/driver.hpp"
+#include "harness/report.hpp"
+#include "telemetry/telemetry.hpp"
+#include "telemetry/trace_export.hpp"
 #include "util/table.hpp"
 
 namespace hcf::bench {
+
+[[noreturn]] inline void option_error(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n(--help lists the accepted options)\n",
+               message.c_str());
+  std::exit(2);
+}
+
+// Strict decimal parse: the whole token must be a number. std::stol-style
+// partial parses ("--threads=4x" -> 4) and uncaught std::invalid_argument
+// ("--threads=,") are exactly what this replaces.
+inline long parse_number(const std::string& text, const char* flag,
+                         long min_value) {
+  if (text.empty()) {
+    option_error(std::string("empty value for ") + flag);
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long value = std::strtol(text.c_str(), &end, 10);
+  if (errno != 0 || end != text.c_str() + text.size()) {
+    option_error("malformed number '" + text + "' for " + flag);
+  }
+  if (value < min_value) {
+    option_error(std::string(flag) + "=" + text + " is below the minimum (" +
+                 std::to_string(min_value) + ")");
+  }
+  return value;
+}
 
 struct BenchOptions {
   harness::DriverOptions driver;
@@ -30,6 +71,8 @@ struct BenchOptions {
   // -1: run both cs_work=0 (paper parameters) and the amplified setting.
   long cs_work = -1;
   std::uint32_t amplified_work = 1000;
+  std::string json_path;   // --json=FILE: hcf-bench-v1 output
+  std::string trace_path;  // --trace=FILE: Chrome trace_event output
 
   static BenchOptions parse(int argc, char** argv) {
     BenchOptions opts;
@@ -38,19 +81,23 @@ struct BenchOptions {
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
       if (arg.rfind("--duration-ms=", 0) == 0) {
-        opts.driver.duration =
-            std::chrono::milliseconds(std::stol(arg.substr(14)));
+        opts.driver.duration = std::chrono::milliseconds(
+            parse_number(arg.substr(14), "--duration-ms", 1));
       } else if (arg.rfind("--warmup-ms=", 0) == 0) {
-        opts.driver.warmup =
-            std::chrono::milliseconds(std::stol(arg.substr(12)));
+        opts.driver.warmup = std::chrono::milliseconds(
+            parse_number(arg.substr(12), "--warmup-ms", 0));
+      } else if (arg.rfind("--report-interval-ms=", 0) == 0) {
+        opts.driver.report_interval = std::chrono::milliseconds(
+            parse_number(arg.substr(21), "--report-interval-ms", 1));
       } else if (arg.rfind("--threads=", 0) == 0) {
         opts.threads.clear();
-        std::string list = arg.substr(10);
+        const std::string list = arg.substr(10);
         std::size_t pos = 0;
-        while (pos < list.size()) {
+        while (pos <= list.size()) {
           std::size_t comma = list.find(',', pos);
           if (comma == std::string::npos) comma = list.size();
-          opts.threads.push_back(std::stoul(list.substr(pos, comma - pos)));
+          opts.threads.push_back(static_cast<std::size_t>(
+              parse_number(list.substr(pos, comma - pos), "--threads", 1)));
           pos = comma + 1;
         }
       } else if (arg == "--quick") {
@@ -58,21 +105,39 @@ struct BenchOptions {
         opts.driver.warmup = std::chrono::milliseconds(20);
         opts.threads = {1, 2, 4};
       } else if (arg.rfind("--cs-work=", 0) == 0) {
-        opts.cs_work = std::stol(arg.substr(10));
+        opts.cs_work = parse_number(arg.substr(10), "--cs-work", 0);
       } else if (arg == "--extended") {
         opts.extended = true;
       } else if (arg.rfind("--workload=", 0) == 0) {
         opts.workload_filter = arg.substr(11);
+      } else if (arg.rfind("--json=", 0) == 0) {
+        opts.json_path = arg.substr(7);
+        if (opts.json_path.empty()) option_error("empty value for --json");
+      } else if (arg.rfind("--trace=", 0) == 0) {
+        opts.trace_path = arg.substr(8);
+        if (opts.trace_path.empty()) option_error("empty value for --trace");
       } else if (arg == "--help" || arg == "-h") {
         std::printf(
             "options: --duration-ms=N --warmup-ms=N --threads=a,b,c "
-            "--quick --extended --workload=NAME --cs-work=N\n");
+            "--quick --extended --workload=NAME --cs-work=N "
+            "--json=FILE --trace=FILE --report-interval-ms=N\n");
         std::exit(0);
+      } else {
+        option_error("unknown option '" + arg + "'");
       }
     }
     if (opts.extended) {
-      opts.threads.push_back(36);
-      opts.threads.push_back(72);
+      // The beyond-one-socket counts, skipping any the user already listed.
+      for (const std::size_t extra : {std::size_t{36}, std::size_t{72}}) {
+        bool present = false;
+        for (const std::size_t t : opts.threads) {
+          if (t == extra) {
+            present = true;
+            break;
+          }
+        }
+        if (!present) opts.threads.push_back(extra);
+      }
     }
     return opts;
   }
@@ -92,5 +157,56 @@ inline void print_header(const char* figure, const char* description) {
   std::printf(" notes and EXPERIMENTS.md for paper-vs-measured analysis)\n");
   std::printf("==============================================================\n");
 }
+
+// Collects rows for --json and drives telemetry for --trace. Construct one
+// per binary right after BenchOptions::parse, feed it every RunResult, and
+// return finish() from main.
+class BenchReport {
+ public:
+  BenchReport(const BenchOptions& opts, std::string bench_name)
+      : json_path_(opts.json_path),
+        trace_path_(opts.trace_path),
+        report_(std::move(bench_name)) {
+    if (!trace_path_.empty()) {
+      if (!telemetry::kCompiledIn) {
+        std::fprintf(stderr,
+                     "warning: --trace requested but telemetry is compiled "
+                     "out (HCF_TELEMETRY=OFF); the trace will be empty\n");
+      }
+      telemetry::set_enabled(true);
+    }
+  }
+
+  void add(const std::string& workload, const std::string& engine,
+           std::size_t threads, std::uint32_t cs_work,
+           const harness::RunResult& result) {
+    if (!json_path_.empty()) {
+      report_.add_row(workload, engine, threads, cs_work, result);
+    }
+  }
+
+  // Writes the requested artifacts; the return value is main()'s exit code.
+  int finish() {
+    int rc = 0;
+    if (!json_path_.empty() && !report_.write_file(json_path_)) rc = 1;
+    if (!trace_path_.empty()) {
+      telemetry::set_enabled(false);
+      std::ofstream out(trace_path_);
+      if (!out) {
+        std::fprintf(stderr, "error: cannot write %s\n", trace_path_.c_str());
+        rc = 1;
+      } else {
+        telemetry::write_chrome_trace(out);
+        telemetry::write_summary(std::cerr);
+      }
+    }
+    return rc;
+  }
+
+ private:
+  std::string json_path_;
+  std::string trace_path_;
+  harness::JsonReport report_;
+};
 
 }  // namespace hcf::bench

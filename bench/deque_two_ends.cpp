@@ -78,6 +78,7 @@ const char* kEngines[] = {"Lock", "TLE", "FC", "SCM", "TLE+FC", "HCF",
 
 int main(int argc, char** argv) {
   auto opts = hcf::bench::BenchOptions::parse(argc, argv);
+  hcf::bench::BenchReport report(opts, "deque_two_ends");
   bench::print_header("Deque (paper §2.4)",
                       "two-ends deque, per-end publication arrays (Mops/s)");
 
@@ -91,11 +92,12 @@ int main(int argc, char** argv) {
       std::vector<std::string> row{std::to_string(threads)};
       for (const char* engine : kEngines) {
         const auto result = run_named(engine, split, threads, opts.driver);
+        report.add(split ? "split" : "mixed", engine, threads, 0, result);
         row.push_back(util::TextTable::num(result.throughput_mops()));
       }
       table.add_row(std::move(row));
     }
     table.print(std::cout);
   }
-  return 0;
+  return report.finish();
 }

@@ -78,6 +78,7 @@ const char* kEngines[] = {"Lock", "TLE", "FC", "SCM", "TLE+FC", "HCF"};
 
 int main(int argc, char** argv) {
   auto opts = hcf::bench::BenchOptions::parse(argc, argv);
+  hcf::bench::BenchReport report(opts, "fig2_hash_table");
   hcf::bench::print_header(
       "Figure 2", "hash table throughput (Mops/s), 16K keys/buckets");
 
@@ -109,6 +110,7 @@ int main(int argc, char** argv) {
       std::vector<std::string> row{std::to_string(threads)};
       for (const char* engine : kEngines) {
         const auto result = run_named(engine, spec, threads, opts.driver);
+        report.add(spec.label(), engine, threads, work, result);
         row.push_back(hcf::util::TextTable::num(result.throughput_mops()));
       }
       table.add_row(std::move(row));
@@ -116,5 +118,5 @@ int main(int argc, char** argv) {
     table.print(std::cout);
     }
   }
-  return 0;
+  return report.finish();
 }

@@ -30,6 +30,7 @@ std::string pct(std::uint64_t part, std::uint64_t whole) {
 
 int main(int argc, char** argv) {
   auto opts = hcf::bench::BenchOptions::parse(argc, argv);
+  hcf::bench::BenchReport report(opts, "fig3_phase_breakdown");
   bench::print_header("Figure 3",
                       "HCF phase completion breakdown, hash table, 40% Find");
 
@@ -53,6 +54,7 @@ int main(int argc, char** argv) {
             return harness::HtWorker<Engine>(engine, spec, 31 + t * 101);
           },
           opts.driver));
+      report.add(spec.label(), "HCF", threads, work, results.back());
       mem::EbrDomain::instance().drain();
     }
 
@@ -87,5 +89,5 @@ int main(int argc, char** argv) {
       table.print(std::cout);
     }
   }
-  return 0;
+  return report.finish();
 }

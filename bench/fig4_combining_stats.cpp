@@ -41,6 +41,7 @@ harness::RunResult run_one(Engine& engine, const harness::WorkloadSpec& spec,
 
 int main(int argc, char** argv) {
   auto opts = hcf::bench::BenchOptions::parse(argc, argv);
+  hcf::bench::BenchReport report(opts, "fig4_combining_stats");
   bench::print_header(
       "Figure 4",
       "lock acquisitions, combining degree, cache-traffic proxy (HT, 40% Find)");
@@ -83,6 +84,7 @@ int main(int argc, char** argv) {
                                  adapters::kHtNumArrays);
         result = run_one(e, spec, threads, opts.driver);
       }
+      report.add(spec.label(), name, threads, work, result);
       table.add_row({std::to_string(threads),
                      util::TextTable::num(result.throughput_mops()),
                      util::TextTable::num(result.lock_rate_per_kop()),
@@ -98,5 +100,5 @@ int main(int argc, char** argv) {
     table.print(std::cout);
   }
   }
-  return 0;
+  return report.finish();
 }

@@ -73,6 +73,7 @@ const char* kEngines[] = {"Lock", "TLE", "FC", "SCM", "TLE+FC", "HCF"};
 
 int main(int argc, char** argv) {
   auto opts = hcf::bench::BenchOptions::parse(argc, argv);
+  hcf::bench::BenchReport report(opts, "fig5_avl_tree");
   bench::print_header(
       "Figure 5",
       "AVL set throughput (Mops/s), keys [0..1023], Zipf theta=0.9");
@@ -103,6 +104,7 @@ int main(int argc, char** argv) {
       std::vector<std::string> row{std::to_string(threads)};
       for (const char* engine : kEngines) {
         const auto result = run_named(engine, spec, threads, opts.driver);
+        report.add(spec.label(), engine, threads, work, result);
         row.push_back(util::TextTable::num(result.throughput_mops()));
       }
       table.add_row(std::move(row));
@@ -110,5 +112,5 @@ int main(int argc, char** argv) {
     table.print(std::cout);
     }
   }
-  return 0;
+  return report.finish();
 }

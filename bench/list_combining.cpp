@@ -107,6 +107,7 @@ const char* kEngines[] = {"Lock", "TLE", "FC", "SCM", "TLE+FC", "HCF"};
 
 int main(int argc, char** argv) {
   auto opts = hcf::bench::BenchOptions::parse(argc, argv);
+  hcf::bench::BenchReport report(opts, "list_combining");
   bench::print_header("Sorted list", "single-traversal batch combining");
 
   for (const std::uint32_t work : opts.work_settings()) {
@@ -123,6 +124,7 @@ int main(int argc, char** argv) {
         std::vector<std::string> row{std::to_string(threads)};
         for (const char* engine : kEngines) {
           const auto result = run_named(engine, spec, threads, opts.driver);
+          report.add(spec.label(), engine, threads, work, result);
           row.push_back(util::TextTable::num(result.throughput_mops()));
         }
         table.add_row(std::move(row));
@@ -130,5 +132,5 @@ int main(int argc, char** argv) {
       table.print(std::cout);
     }
   }
-  return 0;
+  return report.finish();
 }

@@ -83,6 +83,7 @@ const char* kEngines[] = {"Lock", "TLE", "FC", "SCM", "TLE+FC", "HCF"};
 
 int main(int argc, char** argv) {
   auto opts = hcf::bench::BenchOptions::parse(argc, argv);
+  hcf::bench::BenchReport report(opts, "pq_motivation");
   bench::print_header(
       "PQ motivation (paper §1/§3.1)",
       "skip-list priority queue, Insert vs RemoveMin mixes (Mops/s)");
@@ -102,6 +103,9 @@ int main(int argc, char** argv) {
       for (const char* engine : kEngines) {
         const auto result = run_named(engine, insert_pct, threads,
                                       opts.driver, work);
+        report.add(std::to_string(insert_pct) + "i/" +
+                       std::to_string(100 - insert_pct) + "rm",
+                   engine, threads, work, result);
         row.push_back(util::TextTable::num(result.throughput_mops()));
       }
       table.add_row(std::move(row));
@@ -109,5 +113,5 @@ int main(int argc, char** argv) {
     table.print(std::cout);
   }
   }
-  return 0;
+  return report.finish();
 }

@@ -67,6 +67,7 @@ std::pair<harness::RunResult, std::uint64_t> run_one(
 
 int main(int argc, char** argv) {
   auto opts = hcf::bench::BenchOptions::parse(argc, argv);
+  hcf::bench::BenchReport report(opts, "stack_elimination");
   bench::print_header("Stack (paper §3.1)",
                       "always-conflicting stack; throughput + elimination");
 
@@ -81,18 +82,18 @@ int main(int argc, char** argv) {
         St st;
         for (int i = 0; i < 4096; ++i) st.push(i);
         core::LockEngine<St> e(st);
-        row.push_back(util::TextTable::num(
-            run_one(e, 50, threads, opts.driver, work).first
-                .throughput_mops()));
+        const auto result = run_one(e, 50, threads, opts.driver, work).first;
+        report.add("50push/50pop", "Lock", threads, work, result);
+        row.push_back(util::TextTable::num(result.throughput_mops()));
         mem::EbrDomain::instance().drain();
       }
       {
         St st;
         for (int i = 0; i < 4096; ++i) st.push(i);
         core::TleEngine<St> e(st);
-        row.push_back(util::TextTable::num(
-            run_one(e, 50, threads, opts.driver, work).first
-                .throughput_mops()));
+        const auto result = run_one(e, 50, threads, opts.driver, work).first;
+        report.add("50push/50pop", "TLE", threads, work, result);
+        row.push_back(util::TextTable::num(result.throughput_mops()));
         mem::EbrDomain::instance().drain();
       }
       {
@@ -101,6 +102,7 @@ int main(int argc, char** argv) {
         core::FcEngine<St> e(st);
         const auto [result, elims] =
             run_one(e, 50, threads, opts.driver, work);
+        report.add("50push/50pop", "FC", threads, work, result);
         row.push_back(util::TextTable::num(result.throughput_mops()));
         row.push_back(util::TextTable::num(
             result.total_ops == 0
@@ -115,6 +117,7 @@ int main(int argc, char** argv) {
         core::HcfEngine<St> e(st, adapters::stack_paper_config(), 1);
         const auto [result, elims] =
             run_one(e, 50, threads, opts.driver, work);
+        report.add("50push/50pop", "HCF", threads, work, result);
         row.push_back(util::TextTable::num(result.throughput_mops()));
         row.push_back(util::TextTable::num(
             result.total_ops == 0
@@ -128,14 +131,14 @@ int main(int argc, char** argv) {
         for (int i = 0; i < 4096; ++i) st.push(i);
         core::HcfSingleCombinerEngine<St> e(st,
                                             adapters::stack_paper_config(), 1);
-        row.push_back(util::TextTable::num(
-            run_one(e, 50, threads, opts.driver, work).first
-                .throughput_mops()));
+        const auto result = run_one(e, 50, threads, opts.driver, work).first;
+        report.add("50push/50pop", "HCF-1C", threads, work, result);
+        row.push_back(util::TextTable::num(result.throughput_mops()));
         mem::EbrDomain::instance().drain();
       }
       table.add_row(std::move(row));
     }
     table.print(std::cout);
   }
-  return 0;
+  return report.finish();
 }

@@ -20,6 +20,7 @@
 #include "sim_htm/htm.hpp"
 #include "sync/spinlock.hpp"
 #include "sync/tx_lock.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/affinity.hpp"
 #include "util/backoff.hpp"
 #include "util/cacheline.hpp"
@@ -45,6 +46,9 @@ class CoreLockEngine {
     mem::Guard ebr;
     op.prepare();
 
+    // Telemetry hooks between attempts, outside htm::attempt bodies; the
+    // core-lock retries count toward the private phase like SCM's aux phase.
+    telemetry::phase_enter(static_cast<int>(Phase::Private));
     util::ExpBackoff backoff(0xc07e + util::this_thread_id());
     for (int attempt = 0; attempt < budget_; ++attempt) {
       lock_.wait_until_free();
@@ -53,6 +57,7 @@ class CoreLockEngine {
         op.run_seq(ds_);
       });
       if (committed) {
+        telemetry::phase_exit(static_cast<int>(Phase::Private), true);
         op.mark_done(Phase::Private);
         stats_.record_completion(op.class_id(), Phase::Private);
         return Phase::Private;
@@ -60,6 +65,7 @@ class CoreLockEngine {
       if (htm::last_abort_code() == htm::AbortCode::Capacity) {
         // Serialize with same-core siblings and retry speculatively.
         if (try_under_core_lock(op)) {
+          telemetry::phase_exit(static_cast<int>(Phase::Private), true);
           op.mark_done(Phase::Private);
           stats_.record_completion(op.class_id(), Phase::Private);
           return Phase::Private;
@@ -68,11 +74,14 @@ class CoreLockEngine {
       }
       if (htm::last_abort_code() == htm::AbortCode::Conflict) backoff.pause();
     }
+    telemetry::phase_exit(static_cast<int>(Phase::Private), false);
 
+    telemetry::phase_enter(static_cast<int>(Phase::UnderLock));
     {
       sync::LockGuard<Lock> guard(lock_);
       op.run_seq(ds_);
     }
+    telemetry::phase_exit(static_cast<int>(Phase::UnderLock), true);
     op.mark_done(Phase::UnderLock);
     stats_.record_completion(op.class_id(), Phase::UnderLock);
     return Phase::UnderLock;

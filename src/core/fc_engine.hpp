@@ -15,6 +15,7 @@
 #include "core/publication_array.hpp"
 #include "mem/ebr.hpp"
 #include "sync/tx_lock.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/backoff.hpp"
 #include "util/thread_id.hpp"
 
@@ -38,13 +39,20 @@ class FcEngine {
     op.prepare();
     op.mark_announced();
     array_.add(&op);
+    telemetry::phase_enter(static_cast<int>(Phase::Visible));
 
     util::SpinWait waiter;
     for (;;) {
-      if (op.status() == OpStatus::Done) return op.completed_phase();
+      if (op.status() == OpStatus::Done) {
+        telemetry::phase_exit(static_cast<int>(Phase::Visible), true);
+        return op.completed_phase();
+      }
       if (lock_.try_lock()) {
+        telemetry::phase_exit(static_cast<int>(Phase::Visible), false);
+        telemetry::phase_enter(static_cast<int>(Phase::UnderLock));
         combine(op);
         lock_.unlock();
+        telemetry::phase_exit(static_cast<int>(Phase::UnderLock), true);
         // The combiner always executes its own announced operation.
         assert(op.status() == OpStatus::Done);
         return op.completed_phase();
@@ -83,6 +91,7 @@ class FcEngine {
         continue;
       }
       stats_.ops_selected.add(batch.size());
+      telemetry::combine_begin(batch.size());
       std::span<Op*> pending(batch);
       while (!pending.empty()) {
         stats_.combine_rounds.add();
@@ -98,6 +107,7 @@ class FcEngine {
         }
         pending = pending.subspan(k);
       }
+      telemetry::combine_end(batch.size());
     }
     // Late safety net: if our own op was announced after the last scan
     // cleared it — impossible by construction (we announced before trying

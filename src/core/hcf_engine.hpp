@@ -39,6 +39,7 @@
 #include "mem/ebr.hpp"
 #include "sim_htm/htm.hpp"
 #include "sync/tx_lock.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/backoff.hpp"
 #include "util/thread_id.hpp"
 
@@ -157,14 +158,34 @@ class HcfEngine {
     const PhasePolicy policy = cfg.policy.load();
     PubArray& pa = *arrays_[cfg.array];
 
-    if (try_private(op, policy)) return Phase::Private;
-    if (try_visible(op, pa, policy)) return op.completed_phase();
+    // Telemetry hooks live here, between phases and outside every
+    // htm::attempt body (tracing inside a transaction is a protocol
+    // violation — see tools/lint rule tx-telemetry-call).
+    telemetry::phase_enter(static_cast<int>(Phase::Private));
+    const bool done_private = try_private(op, policy);
+    telemetry::phase_exit(static_cast<int>(Phase::Private), done_private);
+    if (done_private) return Phase::Private;
+
+    telemetry::phase_enter(static_cast<int>(Phase::Visible));
+    const bool done_visible = try_visible(op, pa, policy);
+    telemetry::phase_exit(static_cast<int>(Phase::Visible), done_visible);
+    if (done_visible) return op.completed_phase();
 
     std::vector<Op*>& ops_to_help = scratch();
     ops_to_help.clear();
-    if (!try_combining(op, pa, policy, ops_to_help)) {
+    std::size_t session_ops = 0;
+    telemetry::phase_enter(static_cast<int>(Phase::Combining));
+    const bool done_combining =
+        try_combining(op, pa, policy, ops_to_help, session_ops);
+    telemetry::phase_exit(static_cast<int>(Phase::Combining), done_combining);
+    if (!done_combining) {
+      telemetry::phase_enter(static_cast<int>(Phase::UnderLock));
       combine_under_lock(op, ops_to_help);
+      telemetry::phase_exit(static_cast<int>(Phase::UnderLock), true);
     }
+    // A combining session (if one started) is over once every selected op
+    // has been applied, speculatively or under the lock.
+    if (session_ops != 0) telemetry::combine_end(session_ops);
     return op.completed_phase();
   }
 
@@ -259,7 +280,8 @@ class HcfEngine {
   // own op may be complete even when this returns false (the paper notes
   // exactly this asymmetry) — remaining selected ops still must be run.
   bool try_combining(Op& op, PubArray& pa, const PhasePolicy& policy,
-                     std::vector<Op*>& ops_to_help) {
+                     std::vector<Op*>& ops_to_help,
+                     std::size_t& session_ops) {
     if (policy.announce) {
       // Compete for the selection lock *while watching our own status*: if
       // a combiner selects us in the meantime we never need the lock — we
@@ -275,20 +297,25 @@ class HcfEngine {
         if (pa.selection_lock().try_lock()) break;
         waiter.wait();
       }
+      telemetry::sel_lock_acquired();
       if (op.status() != OpStatus::Announced) {
         // Selected between our last check and the lock acquisition; the
         // selecting combiner is guaranteed to finish our op.
         pa.selection_lock().unlock();
+        telemetry::sel_lock_released();
         op.wait_done();
         return true;
       }
       choose_ops_to_help(op, pa, ops_to_help);
       pa.selection_lock().unlock();
+      telemetry::sel_lock_released();
       // Only announcing classes count as combining sessions — a TLE-like
       // class falling through to the lock is not a combiner (keeps the
       // Fig. 4 combining-degree metric meaningful).
       stats_.combiner_sessions.add();
       stats_.ops_selected.add(ops_to_help.size());
+      session_ops = ops_to_help.size();
+      telemetry::combine_begin(session_ops);
     } else {
       // Never-announced (TLE-like) class: we "combine" only our own op.
       ops_to_help.push_back(&op);

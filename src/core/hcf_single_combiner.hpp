@@ -26,6 +26,7 @@
 #include "mem/ebr.hpp"
 #include "sim_htm/htm.hpp"
 #include "sync/tx_lock.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/backoff.hpp"
 #include "util/thread_id.hpp"
 
@@ -60,9 +61,20 @@ class HcfSingleCombinerEngine {
     const ClassConfig& cfg = classes_[static_cast<std::size_t>(op.class_id())];
     PubArray& pa = *arrays_[cfg.array];
 
-    if (try_private(op, cfg.policy)) return Phase::Private;
-    if (try_visible(op, pa, cfg.policy)) return op.completed_phase();
+    // Telemetry hooks between phases, outside all htm::attempt bodies.
+    telemetry::phase_enter(static_cast<int>(Phase::Private));
+    const bool done_private = try_private(op, cfg.policy);
+    telemetry::phase_exit(static_cast<int>(Phase::Private), done_private);
+    if (done_private) return Phase::Private;
+
+    telemetry::phase_enter(static_cast<int>(Phase::Visible));
+    const bool done_visible = try_visible(op, pa, cfg.policy);
+    telemetry::phase_exit(static_cast<int>(Phase::Visible), done_visible);
+    if (done_visible) return op.completed_phase();
+
+    telemetry::phase_enter(static_cast<int>(Phase::Combining));
     combine(op, pa, cfg.policy);
+    telemetry::phase_exit(static_cast<int>(Phase::Combining), true);
     return op.completed_phase();
   }
 
@@ -142,8 +154,10 @@ class HcfSingleCombinerEngine {
         if (pa.selection_lock().try_lock()) break;
         waiter.wait();
       }
+      telemetry::sel_lock_acquired();
       if (op.status() == OpStatus::Done) {
         pa.selection_lock().unlock();
+        telemetry::sel_lock_released();
         return;
       }
       // Select. Slots are unpublished now (still under the selection lock),
@@ -159,9 +173,11 @@ class HcfSingleCombinerEngine {
       });
       stats_.combiner_sessions.add();
       stats_.ops_selected.add(ops_to_help.size());
+      telemetry::combine_begin(ops_to_help.size());
     } else {
       ops_to_help.push_back(&op);
     }
+    const std::size_t session_ops = policy.announce ? ops_to_help.size() : 0;
 
     util::ExpBackoff backoff(0x1c03 + util::this_thread_id());
     int failures = 0;
@@ -185,6 +201,7 @@ class HcfSingleCombinerEngine {
     }
 
     if (!ops_to_help.empty()) {
+      telemetry::phase_enter(static_cast<int>(Phase::UnderLock));
       sync::LockGuard<Lock> guard(lock_);
       while (!ops_to_help.empty()) {
         const std::size_t executed =
@@ -192,9 +209,14 @@ class HcfSingleCombinerEngine {
         stats_.combine_rounds.add();
         retire_prefix(op, ops_to_help, executed, Phase::UnderLock);
       }
+      telemetry::phase_exit(static_cast<int>(Phase::UnderLock), true);
     }
 
-    if (policy.announce) pa.selection_lock().unlock();
+    if (session_ops != 0) telemetry::combine_end(session_ops);
+    if (policy.announce) {
+      pa.selection_lock().unlock();
+      telemetry::sel_lock_released();
+    }
   }
 
   void retire_prefix(Op& own, std::vector<Op*>& ops, std::size_t k,

@@ -7,6 +7,7 @@
 #include "core/operation.hpp"
 #include "mem/ebr.hpp"
 #include "sync/tx_lock.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace hcf::core {
 
@@ -22,10 +23,12 @@ class LockEngine {
   Phase execute(Op& op) {
     mem::Guard ebr;
     op.prepare();
+    telemetry::phase_enter(static_cast<int>(Phase::UnderLock));
     {
       sync::LockGuard<Lock> guard(lock_);
       op.run_seq(ds_);
     }
+    telemetry::phase_exit(static_cast<int>(Phase::UnderLock), true);
     op.mark_done(Phase::UnderLock);
     stats_.record_completion(op.class_id(), Phase::UnderLock);
     return Phase::UnderLock;

@@ -16,6 +16,7 @@
 #include "sim_htm/htm.hpp"
 #include "sync/spinlock.hpp"
 #include "sync/tx_lock.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/backoff.hpp"
 
 namespace hcf::core {
@@ -37,7 +38,11 @@ class ScmEngine {
     op.prepare();
 
     bool capacity = false;
+    // Both speculative rounds (free and aux-serialized) count as the
+    // private phase for telemetry; hooks stay outside htm::attempt bodies.
+    telemetry::phase_enter(static_cast<int>(Phase::Private));
     if (try_speculative(op, free_budget_, &capacity)) {
+      telemetry::phase_exit(static_cast<int>(Phase::Private), true);
       op.mark_done(Phase::Private);
       stats_.record_completion(op.class_id(), Phase::Private);
       return Phase::Private;
@@ -51,16 +56,20 @@ class ScmEngine {
       const bool ok = try_speculative(op, aux_budget_, &capacity);
       aux_lock_.unlock();
       if (ok) {
+        telemetry::phase_exit(static_cast<int>(Phase::Private), true);
         op.mark_done(Phase::Private);
         stats_.record_completion(op.class_id(), Phase::Private);
         return Phase::Private;
       }
     }
+    telemetry::phase_exit(static_cast<int>(Phase::Private), false);
 
+    telemetry::phase_enter(static_cast<int>(Phase::UnderLock));
     {
       sync::LockGuard<Lock> guard(lock_);
       op.run_seq(ds_);
     }
+    telemetry::phase_exit(static_cast<int>(Phase::UnderLock), true);
     op.mark_done(Phase::UnderLock);
     stats_.record_completion(op.class_id(), Phase::UnderLock);
     return Phase::UnderLock;

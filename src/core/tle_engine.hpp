@@ -14,6 +14,7 @@
 #include "mem/ebr.hpp"
 #include "sim_htm/htm.hpp"
 #include "sync/tx_lock.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/backoff.hpp"
 
 namespace hcf::core {
@@ -33,6 +34,9 @@ class TleEngine {
   Phase execute(Op& op) {
     mem::Guard ebr;
     op.prepare();
+    // Telemetry hooks sit between attempts, never inside the htm::attempt
+    // body (lint rule tx-telemetry-call).
+    telemetry::phase_enter(static_cast<int>(Phase::Private));
     util::ExpBackoff backoff(0x71e0 + util::this_thread_id());
     for (int attempt = 0; attempt < budget_; ++attempt) {
       lock_.wait_until_free();
@@ -41,6 +45,7 @@ class TleEngine {
         op.run_seq(ds_);
       });
       if (committed) {
+        telemetry::phase_exit(static_cast<int>(Phase::Private), true);
         op.mark_done(Phase::Private);
         stats_.record_completion(op.class_id(), Phase::Private);
         return Phase::Private;
@@ -48,10 +53,13 @@ class TleEngine {
       if (htm::last_abort_code() == htm::AbortCode::Capacity) break;
       if (htm::last_abort_code() == htm::AbortCode::Conflict) backoff.pause();
     }
+    telemetry::phase_exit(static_cast<int>(Phase::Private), false);
+    telemetry::phase_enter(static_cast<int>(Phase::UnderLock));
     {
       sync::LockGuard<Lock> guard(lock_);
       op.run_seq(ds_);
     }
+    telemetry::phase_exit(static_cast<int>(Phase::UnderLock), true);
     op.mark_done(Phase::UnderLock);
     stats_.record_completion(op.class_id(), Phase::UnderLock);
     return Phase::UnderLock;

@@ -20,6 +20,7 @@
 #include "mem/ebr.hpp"
 #include "sim_htm/htm.hpp"
 #include "sync/tx_lock.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/backoff.hpp"
 
 namespace hcf::core {
@@ -39,6 +40,8 @@ class TleFcEngine {
     op.prepare();
 
     // --- TLE part ---
+    // Telemetry hooks sit between attempts, outside htm::attempt bodies.
+    telemetry::phase_enter(static_cast<int>(Phase::Private));
     util::ExpBackoff backoff(0x7fc0 + util::this_thread_id());
     for (int attempt = 0; attempt < budget_; ++attempt) {
       lock_.wait_until_free();
@@ -47,6 +50,7 @@ class TleFcEngine {
         op.run_seq(ds_);
       });
       if (committed) {
+        telemetry::phase_exit(static_cast<int>(Phase::Private), true);
         op.mark_done(Phase::Private);
         stats_.record_completion(op.class_id(), Phase::Private);
         return Phase::Private;
@@ -54,16 +58,24 @@ class TleFcEngine {
       if (htm::last_abort_code() == htm::AbortCode::Capacity) break;
       if (htm::last_abort_code() == htm::AbortCode::Conflict) backoff.pause();
     }
+    telemetry::phase_exit(static_cast<int>(Phase::Private), false);
 
     // --- FC part ---
+    telemetry::phase_enter(static_cast<int>(Phase::Visible));
     op.mark_announced();
     array_.add(&op);
     util::SpinWait waiter;
     for (;;) {
-      if (op.status() == OpStatus::Done) return op.completed_phase();
+      if (op.status() == OpStatus::Done) {
+        telemetry::phase_exit(static_cast<int>(Phase::Visible), true);
+        return op.completed_phase();
+      }
       if (lock_.try_lock()) {
+        telemetry::phase_exit(static_cast<int>(Phase::Visible), false);
+        telemetry::phase_enter(static_cast<int>(Phase::UnderLock));
         combine(op);
         lock_.unlock();
+        telemetry::phase_exit(static_cast<int>(Phase::UnderLock), true);
         assert(op.status() == OpStatus::Done);
         return op.completed_phase();
       }
@@ -95,6 +107,7 @@ class TleFcEngine {
       }
     });
     stats_.ops_selected.add(batch.size());
+    telemetry::combine_begin(batch.size());
     std::span<Op*> pending(batch);
     while (!pending.empty()) {
       stats_.combine_rounds.add();
@@ -115,6 +128,7 @@ class TleFcEngine {
       own.mark_done(Phase::UnderLock);
       stats_.record_completion(own.class_id(), Phase::UnderLock);
     }
+    telemetry::combine_end(batch.size());
   }
 
   static std::vector<Op*>& scratch() {

@@ -10,6 +10,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <functional>
 #include <thread>
 #include <vector>
@@ -18,8 +19,10 @@
 
 #include "core/engine_stats.hpp"
 #include "sim_htm/stats.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/affinity.hpp"
 #include "util/barrier.hpp"
+#include "util/cacheline.hpp"
 #include "util/histogram.hpp"
 
 namespace hcf::harness {
@@ -34,6 +37,7 @@ struct RunResult {
   // DriverOptions::measure_latency is set.
   std::uint64_t latency_p50_ns = 0;
   std::uint64_t latency_p99_ns = 0;
+  std::uint64_t latency_p999_ns = 0;
 
   double throughput_mops() const noexcept {
     return duration_s == 0.0
@@ -75,8 +79,13 @@ struct DriverOptions {
   // is the arrival pattern that lets announced-operation backlogs form
   // (EXPERIMENTS.md, "oversubscription and combining degree").
   bool yield_every_op = false;
-  // Time every operation and report p50/p99 (adds ~2 clock reads per op).
+  // Time every operation and report p50/p99/p999 (adds ~2 clock reads per
+  // op).
   bool measure_latency = false;
+  // > 0: print a progress line to stderr every interval during the
+  // measurement window — interval and cumulative throughput, plus
+  // cumulative latency percentiles when measure_latency is on.
+  std::chrono::milliseconds report_interval{0};
 };
 
 // `make_worker(thread_index)` returns a callable invoked repeatedly; each
@@ -94,7 +103,10 @@ RunResult run_timed(Engine& engine, std::size_t num_threads,
   }
   util::LatencyHistogram* histogram = histogram_owner.get();
   util::SpinBarrier barrier(num_threads + 1);
-  std::vector<std::uint64_t> ops_done(num_threads, 0);
+  // Per-thread progress counters, published with relaxed stores each op so
+  // the interval reporter can read a running total without joining anyone.
+  std::vector<util::CacheAligned<std::atomic<std::uint64_t>>> ops_done(
+      num_threads);
   std::vector<std::thread> threads;
   threads.reserve(num_threads);
 
@@ -106,25 +118,29 @@ RunResult run_timed(Engine& engine, std::size_t num_threads,
       std::uint64_t count = 0;
       bool counting = false;
       while (!stop.load(std::memory_order_relaxed)) {
-        if (histogram != nullptr && counting) {
+        // Telemetry samples a 1-in-N subset of ops even when the full
+        // histogram is off, so traces carry latency without per-op clocks.
+        const bool sampled = telemetry::should_sample_op();
+        if ((histogram != nullptr && counting) || sampled) {
           const auto op_start = std::chrono::steady_clock::now();
           worker();
           const auto op_end = std::chrono::steady_clock::now();
-          histogram->record(static_cast<std::uint64_t>(
+          const auto ns = static_cast<std::uint64_t>(
               std::chrono::duration_cast<std::chrono::nanoseconds>(op_end -
                                                                    op_start)
-                  .count()));
+                  .count());
+          if (histogram != nullptr && counting) histogram->record(ns);
+          if (sampled) telemetry::op_latency(ns);
         } else {
           worker();
         }
         if (options.yield_every_op) std::this_thread::yield();
         if (counting) {
-          ++count;
+          ops_done[t].value.store(++count, std::memory_order_relaxed);
         } else if (measuring.load(std::memory_order_relaxed)) {
           counting = true;  // measurement window opened
         }
       }
-      ops_done[t] = count;
     });
   }
 
@@ -138,7 +154,49 @@ RunResult run_timed(Engine& engine, std::size_t num_threads,
   const auto start = std::chrono::steady_clock::now();
   measuring.store(true, std::memory_order_relaxed);
 
-  std::this_thread::sleep_for(options.duration);
+  auto running_total = [&ops_done] {
+    std::uint64_t sum = 0;
+    for (const auto& slot : ops_done) {
+      sum += slot.value.load(std::memory_order_relaxed);
+    }
+    return sum;
+  };
+
+  if (options.report_interval.count() > 0) {
+    const auto deadline = start + options.duration;
+    auto next = start + options.report_interval;
+    std::uint64_t prev_total = 0;
+    int tick = 0;
+    while (next < deadline) {
+      std::this_thread::sleep_until(next);
+      const double elapsed_s =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      const std::uint64_t total = running_total();
+      const double interval_s =
+          std::chrono::duration<double>(options.report_interval).count();
+      std::fprintf(stderr,
+                   "[interval %d] t=%.1fs ops=%llu (+%llu, %.2f Mops/s)",
+                   ++tick, elapsed_s,
+                   static_cast<unsigned long long>(total),
+                   static_cast<unsigned long long>(total - prev_total),
+                   static_cast<double>(total - prev_total) / interval_s /
+                       1e6);
+      if (histogram != nullptr) {
+        std::fprintf(
+            stderr, " p50=%lluns p99=%lluns",
+            static_cast<unsigned long long>(histogram->percentile(0.50)),
+            static_cast<unsigned long long>(histogram->percentile(0.99)));
+      }
+      std::fprintf(stderr, "\n");
+      prev_total = total;
+      next += options.report_interval;
+    }
+    std::this_thread::sleep_until(deadline);
+  } else {
+    std::this_thread::sleep_for(options.duration);
+  }
 
   stop.store(true, std::memory_order_relaxed);
   const auto end = std::chrono::steady_clock::now();
@@ -147,7 +205,7 @@ RunResult run_timed(Engine& engine, std::size_t num_threads,
   RunResult result;
   result.duration_s =
       std::chrono::duration<double>(end - start).count();
-  for (auto c : ops_done) result.total_ops += c;
+  result.total_ops = running_total();
   result.engine = core::EngineStatsSnapshot::capture(engine.stats())
                       .delta_since(base_engine);
   result.htm = htm::StatsSnapshot::capture().delta_since(base_htm);
@@ -155,6 +213,7 @@ RunResult run_timed(Engine& engine, std::size_t num_threads,
   if (histogram != nullptr) {
     result.latency_p50_ns = histogram->percentile(0.50);
     result.latency_p99_ns = histogram->percentile(0.99);
+    result.latency_p999_ns = histogram->percentile(0.999);
   }
   return result;
 }

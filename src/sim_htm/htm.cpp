@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "telemetry/telemetry.hpp"
 #include "util/backoff.hpp"
 
 namespace hcf::htm {
@@ -185,6 +186,7 @@ void commit_txn(Txn& t) {
     }
     stats().read_only_commits.add();
     finish_commit_bookkeeping(t);
+    telemetry::htm_commit(/*read_only=*/true);
     return;
   }
 
@@ -217,6 +219,7 @@ void commit_txn(Txn& t) {
   writeback_count().fetch_sub(1, std::memory_order_seq_cst);
 
   finish_commit_bookkeeping(t);
+  telemetry::htm_commit(/*read_only=*/false);
 }
 
 void abort_cleanup(Txn& t, AbortCode code) noexcept {
@@ -233,6 +236,9 @@ void abort_cleanup(Txn& t, AbortCode code) noexcept {
   t.last_abort = code;
   const auto idx = static_cast<std::size_t>(code);
   stats().aborts[idx < kNumAbortCodes ? idx : 0].add();
+  // The transaction is torn down (t.active is false): recording here is a
+  // plain per-thread side effect, not an in-transaction call.
+  telemetry::htm_abort(static_cast<int>(code));
 }
 
 std::uint64_t strong_lock_orec(std::atomic<std::uint64_t>& orec) noexcept {

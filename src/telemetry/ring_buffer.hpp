@@ -1,0 +1,147 @@
+// lint:telemetry-core — the sanctioned lock-free core of the telemetry
+// subsystem. This is the ONLY telemetry file allowed to hold raw
+// std::atomic state (enforced by tools/lint/hcf_lint.py, rule
+// raw-atomic-in-telemetry): everything above it builds on EventRing and
+// RuntimeGate instead of sprinkling ad-hoc atomics.
+//
+// EventRing is a bounded single-writer ring with wait-free snapshot
+// readers. Each thread owns one ring (telemetry.hpp indexes them by dense
+// thread id), so the writer side needs no synchronization beyond publishing
+// stores. Readers (exporters, tests) may run concurrently with the writer;
+// per-slot sequence numbers in the style of a seqlock let them detect and
+// discard slots that were overwritten mid-copy. When the ring is full the
+// writer overwrites the oldest entry — telemetry prefers recent history
+// over blocking the hot path — and `pushed()` minus the capacity tells the
+// reader how many events were dropped.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "telemetry/event.hpp"
+#include "util/cacheline.hpp"
+
+// TSan does not model std::atomic_thread_fence (-Wtsan); snapshot() swaps
+// its fence for an acquire reload under that sanitizer (see below).
+#if defined(__SANITIZE_THREAD__)
+#define HCF_TELEMETRY_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define HCF_TELEMETRY_TSAN 1
+#endif
+#endif
+
+namespace hcf::telemetry {
+
+// Per-thread ring capacity: 4096 events (= 128 KiB of slots per thread).
+// Override with -DHCF_TELEMETRY_RING_LOG2=n for longer traces.
+#if defined(HCF_TELEMETRY_RING_LOG2)
+inline constexpr std::size_t kRingCapacityLog2 = HCF_TELEMETRY_RING_LOG2;
+#else
+inline constexpr std::size_t kRingCapacityLog2 = 12;
+#endif
+
+template <std::size_t CapacityLog2 = kRingCapacityLog2>
+class EventRing {
+ public:
+  static constexpr std::size_t kCapacity = std::size_t{1} << CapacityLog2;
+  static constexpr std::size_t kMask = kCapacity - 1;
+
+  // Single-writer append. Publishes via the slot's sequence word: readers
+  // accept a slot only when they observe the same even "complete at index
+  // h" value before and after copying the payload.
+  void push(const Event& e) noexcept {
+    const std::uint64_t h = head_.load(std::memory_order_relaxed);
+    Slot& s = slots_[h & kMask];
+    s.seq.store(seq_busy(h), std::memory_order_relaxed);
+    // The payload stores are relaxed atomics: a concurrent reader may load
+    // torn halves, but the surrounding seq protocol makes it discard them.
+    s.w0.store(e.word0(), std::memory_order_relaxed);
+    s.w1.store(e.word1(), std::memory_order_relaxed);
+    s.seq.store(seq_done(h), std::memory_order_release);
+    head_.store(h + 1, std::memory_order_release);
+  }
+
+  // Total pushes ever; min(pushed, kCapacity) entries are retrievable.
+  std::uint64_t pushed() const noexcept {
+    return head_.load(std::memory_order_acquire);
+  }
+
+  std::uint64_t dropped() const noexcept {
+    const std::uint64_t h = pushed();
+    return h > kCapacity ? h - kCapacity : 0;
+  }
+
+  // Copies the retained events, oldest first, into `out`. Entries the
+  // writer overwrites while we copy are skipped (their seq moved on), so
+  // the result is always a valid — possibly slightly shortened — suffix of
+  // the event history. Wait-free; safe concurrent with push().
+  void snapshot(std::vector<Event>& out) const {
+    const std::uint64_t h = head_.load(std::memory_order_acquire);
+    const std::uint64_t begin = h > kCapacity ? h - kCapacity : 0;
+    for (std::uint64_t i = begin; i < h; ++i) {
+      const Slot& s = slots_[i & kMask];
+      const std::uint64_t seq1 = s.seq.load(std::memory_order_acquire);
+      if (seq1 != seq_done(i)) continue;  // overwritten or in flight
+      const std::uint64_t w0 = s.w0.load(std::memory_order_relaxed);
+      const std::uint64_t w1 = s.w1.load(std::memory_order_relaxed);
+#if defined(HCF_TELEMETRY_TSAN)
+      // Every slot word is atomic, so the fence is only ordering the seq
+      // recheck after the payload loads; an acquire reload is equivalent in
+      // practice and keeps the TSan build free of -Wtsan noise.
+      if (s.seq.load(std::memory_order_acquire) != seq_done(i)) continue;
+#else
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (s.seq.load(std::memory_order_relaxed) != seq_done(i)) continue;
+#endif
+      out.push_back(Event::unpack(w0, w1));
+    }
+  }
+
+  void clear() noexcept {
+    // Writer-side reset (tests / between measurement intervals; callers
+    // must quiesce the owning thread first).
+    for (auto& s : slots_) s.seq.store(0, std::memory_order_relaxed);
+    head_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> seq{0};
+    std::atomic<std::uint64_t> w0{0};
+    std::atomic<std::uint64_t> w1{0};
+  };
+
+  // Slot 0 of an empty ring must not look like a completed index-0 entry,
+  // so "done at index h" is encoded as 2h+2 (never 0) and "busy" as odd.
+  static constexpr std::uint64_t seq_done(std::uint64_t h) noexcept {
+    return 2 * h + 2;
+  }
+  static constexpr std::uint64_t seq_busy(std::uint64_t h) noexcept {
+    return 2 * h + 1;
+  }
+
+  alignas(util::kCacheLineSize) std::atomic<std::uint64_t> head_{0};
+  alignas(util::kCacheLineSize) std::array<Slot, kCapacity> slots_{};
+};
+
+// The runtime on/off gate for event recording. A single relaxed load on
+// the hot path; part of the sanctioned core so the rest of the telemetry
+// layer stays free of raw atomics.
+class RuntimeGate {
+ public:
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  void set(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> enabled_{false};
+};
+
+}  // namespace hcf::telemetry

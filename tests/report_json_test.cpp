@@ -1,0 +1,132 @@
+// Tests for the hcf-bench-v1 JSON emitter: golden-file comparison of a
+// fully-populated report (determinism is part of the schema contract —
+// see harness/report.hpp), escaping, and file round-trip.
+//
+// Regenerate the golden after an intentional schema change with:
+//   HCF_UPDATE_GOLDEN=1 ./build/tests/report_json_test
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "harness/report.hpp"
+
+namespace {
+
+using namespace hcf;
+
+std::string golden_path() {
+  return std::string(HCF_GOLDEN_DIR) + "/report_v1.json";
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+// A report with two rows whose every field is deterministic.
+harness::JsonReport make_fixed_report() {
+  harness::JsonReport report("golden_bench",
+                             harness::HostInfo::fixed_for_tests());
+
+  harness::RunResult hcf_row;
+  hcf_row.total_ops = 120000;
+  hcf_row.duration_s = 0.5;
+  hcf_row.engine.completions[0][0] = 70000;  // class 0: private
+  hcf_row.engine.completions[0][2] = 20000;  // class 0: combining
+  hcf_row.engine.completions[1][1] = 25000;  // class 1: visible
+  hcf_row.engine.completions[1][3] = 5000;   // class 1: under lock
+  hcf_row.engine.combiner_sessions = 4000;
+  hcf_row.engine.ops_selected = 25000;
+  hcf_row.engine.combine_rounds = 6000;
+  hcf_row.engine.helped_ops = 21000;
+  hcf_row.htm.starts = 200000;
+  hcf_row.htm.commits = 115000;
+  hcf_row.htm.read_only_commits = 60000;
+  hcf_row.htm.aborts[static_cast<int>(htm::AbortCode::Conflict)] = 50000;
+  hcf_row.htm.aborts[static_cast<int>(htm::AbortCode::Capacity)] = 1000;
+  hcf_row.htm.aborts[static_cast<int>(htm::AbortCode::Explicit)] = 30000;
+  hcf_row.htm.aborts[static_cast<int>(htm::AbortCode::LockBusy)] = 4000;
+  hcf_row.lock_acquisitions = 5000;
+  hcf_row.latency_p50_ns = 800;
+  hcf_row.latency_p99_ns = 12000;
+  hcf_row.latency_p999_ns = 90000;
+  report.add_row("40f/30i/30r", "HCF", 4, 0, hcf_row);
+
+  harness::RunResult lock_row;  // mostly-zero row: defaults must serialize
+  lock_row.total_ops = 30000;
+  lock_row.duration_s = 0.5;
+  lock_row.engine.completions[0][3] = 30000;
+  lock_row.lock_acquisitions = 30000;
+  report.add_row("40f/30i/30r", "Lock", 1, 25, lock_row);
+
+  return report;
+}
+
+TEST(ReportJson, MatchesGoldenFile) {
+  const harness::JsonReport report = make_fixed_report();
+  std::ostringstream os;
+  report.write(os);
+  const std::string produced = os.str();
+
+  if (std::getenv("HCF_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path());
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_path();
+    out << produced;
+    GTEST_SKIP() << "golden updated: " << golden_path();
+  }
+
+  const std::string expected = read_file(golden_path());
+  ASSERT_FALSE(expected.empty())
+      << "missing golden file " << golden_path()
+      << " (generate with HCF_UPDATE_GOLDEN=1)";
+  EXPECT_EQ(produced, expected);
+}
+
+TEST(ReportJson, ComputedFieldsAreConsistent) {
+  const harness::JsonReport report = make_fixed_report();
+  std::ostringstream os;
+  report.write(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"schema\": \"hcf-bench-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"ops_per_sec\": 240000.000000"), std::string::npos);
+  EXPECT_NE(json.find("\"degree\": 6.250000"), std::string::npos);
+  // phase_total sums across classes: private 70000, visible 25000.
+  EXPECT_NE(json.find("\"private\": 70000"), std::string::npos);
+  EXPECT_NE(json.find("\"visible\": 25000"), std::string::npos);
+  EXPECT_EQ(report.size(), 2u);
+}
+
+TEST(ReportJson, EscapesStrings) {
+  harness::JsonReport report("quote\"back\\slash",
+                             harness::HostInfo::fixed_for_tests());
+  harness::RunResult r;
+  r.total_ops = 1;
+  r.duration_s = 1.0;
+  report.add_row("tab\there", "new\nline", 1, 0, r);
+  std::ostringstream os;
+  report.write(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("quote\\\"back\\\\slash"), std::string::npos);
+  EXPECT_NE(json.find("tab\\there"), std::string::npos);
+  EXPECT_NE(json.find("new\\nline"), std::string::npos);
+}
+
+TEST(ReportJson, WriteFileRoundTrips) {
+  const harness::JsonReport report = make_fixed_report();
+  const std::string path = ::testing::TempDir() + "report_json_test.json";
+  ASSERT_TRUE(report.write_file(path));
+  std::ostringstream os;
+  report.write(os);
+  EXPECT_EQ(read_file(path), os.str());
+  std::remove(path.c_str());
+
+  EXPECT_FALSE(report.write_file("/nonexistent-dir/x/y.json"));
+}
+
+}  // namespace

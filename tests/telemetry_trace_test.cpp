@@ -1,0 +1,171 @@
+// Tests for the telemetry exporters: aggregate summary counting, the
+// Chrome trace_event emitter's slice balancing, and the pinned
+// correspondence between telemetry's local name tables and the core/ and
+// sim_htm/ enums they mirror.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <sstream>
+#include <string>
+
+#include "core/types.hpp"
+#include "sim_htm/abort.hpp"
+#include "telemetry/telemetry.hpp"
+#include "telemetry/trace_export.hpp"
+
+namespace {
+
+using namespace hcf;
+using telemetry::EventType;
+
+std::size_t count_occurrences(const std::string& haystack,
+                              const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+// telemetry/ sits below core/ and sim_htm/, so trace_export.hpp carries
+// its own name tables; this pins them to the enums they must track.
+TEST(TelemetryTrace, NameTablesMatchEnums) {
+  using telemetry::detail::abort_name;
+  using telemetry::detail::phase_name;
+  EXPECT_STREQ(phase_name(static_cast<int>(core::Phase::Private)),
+               "try-private");
+  EXPECT_STREQ(phase_name(static_cast<int>(core::Phase::Visible)),
+               "try-visible");
+  EXPECT_STREQ(phase_name(static_cast<int>(core::Phase::Combining)),
+               "try-combining");
+  EXPECT_STREQ(phase_name(static_cast<int>(core::Phase::UnderLock)),
+               "combine-under-lock");
+  EXPECT_STREQ(abort_name(static_cast<int>(htm::AbortCode::Conflict)),
+               "conflict");
+  EXPECT_STREQ(abort_name(static_cast<int>(htm::AbortCode::Capacity)),
+               "capacity");
+  EXPECT_STREQ(abort_name(static_cast<int>(htm::AbortCode::Explicit)),
+               "explicit");
+  EXPECT_STREQ(abort_name(static_cast<int>(htm::AbortCode::LockBusy)),
+               "lock-busy");
+}
+
+TEST(TelemetryTrace, SummaryCountsKnownSequence) {
+  if (!telemetry::kCompiledIn) {
+    GTEST_SKIP() << "telemetry compiled out";
+  }
+  telemetry::set_enabled(false);
+  telemetry::reset();
+  telemetry::set_enabled(true);
+  telemetry::phase_enter(0);
+  telemetry::phase_exit(0, false);
+  telemetry::phase_enter(2);
+  telemetry::sel_lock_acquired();
+  telemetry::combine_begin(3);
+  telemetry::combine_end(3);
+  telemetry::sel_lock_released();
+  telemetry::phase_exit(2, true);
+  telemetry::htm_commit(true);
+  telemetry::htm_abort(static_cast<int>(htm::AbortCode::Conflict));
+  telemetry::op_latency(2000);
+  telemetry::set_enabled(false);
+
+  const telemetry::TraceSummary s = telemetry::collect_summary();
+  EXPECT_EQ(s.count(EventType::PhaseEnter), 2u);
+  EXPECT_EQ(s.count(EventType::PhaseExit), 2u);
+  EXPECT_EQ(s.count(EventType::HtmCommit), 1u);
+  EXPECT_EQ(s.count(EventType::HtmAbort), 1u);
+  EXPECT_EQ(s.count(EventType::CombineBegin), 1u);
+  EXPECT_EQ(s.count(EventType::SelLockAcquire), 1u);
+  EXPECT_EQ(s.count(EventType::OpLatency), 1u);
+  EXPECT_EQ(s.aborts_by_code[static_cast<int>(htm::AbortCode::Conflict)], 1u);
+  EXPECT_EQ(s.phase_completions[0], 0u);  // exit with completed=false
+  EXPECT_EQ(s.phase_completions[2], 1u);
+  EXPECT_EQ(s.ops_selected, 3u);
+  EXPECT_EQ(s.latency_samples, 1u);
+  EXPECT_EQ(s.threads, 1);
+  EXPECT_EQ(s.events_dropped, 0u);
+
+  std::ostringstream os;
+  telemetry::write_summary(os, s);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("[telemetry]"), std::string::npos);
+  EXPECT_NE(text.find("try-combining=1"), std::string::npos);
+  EXPECT_NE(text.find("conflict=1"), std::string::npos);
+  EXPECT_NE(text.find("ops-selected=3"), std::string::npos);
+  telemetry::reset();
+}
+
+TEST(TelemetryTrace, ChromeTraceIsBalanced) {
+  if (!telemetry::kCompiledIn) {
+    GTEST_SKIP() << "telemetry compiled out";
+  }
+  telemetry::set_enabled(false);
+  telemetry::reset();
+  telemetry::set_enabled(true);
+  telemetry::phase_enter(0);
+  telemetry::phase_exit(0, true);
+  telemetry::sel_lock_acquired();
+  telemetry::combine_begin(4);
+  telemetry::combine_end(4);
+  telemetry::sel_lock_released();
+  telemetry::htm_commit(false);
+  telemetry::htm_abort(static_cast<int>(htm::AbortCode::Capacity));
+  telemetry::set_enabled(false);
+
+  std::ostringstream os;
+  telemetry::write_chrome_trace(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"try-private\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"combine\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"selection-lock\""), std::string::npos);
+  EXPECT_NE(json.find("htm-abort:capacity"), std::string::npos);
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"B\""),
+            count_occurrences(json, "\"ph\":\"E\""));
+  EXPECT_EQ(count_occurrences(json, "{"), count_occurrences(json, "}"));
+  telemetry::reset();
+}
+
+// An exit whose begin fell off the ring must be dropped, and a begin with
+// no exit at snapshot time must be closed, so B/E always balance.
+TEST(TelemetryTrace, ChromeTraceHandlesOrphansAndDanglers) {
+  if (!telemetry::kCompiledIn) {
+    GTEST_SKIP() << "telemetry compiled out";
+  }
+  telemetry::set_enabled(false);
+  telemetry::reset();
+  telemetry::set_enabled(true);
+  telemetry::phase_exit(1, true);   // orphan exit: begin was never recorded
+  telemetry::combine_end(9);        // orphan combine end
+  telemetry::phase_enter(3);        // dangling begin, never exited
+  telemetry::sel_lock_acquired();   // dangling lock slice
+  telemetry::set_enabled(false);
+
+  std::ostringstream os;
+  telemetry::write_chrome_trace(os);
+  const std::string json = os.str();
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"B\""),
+            count_occurrences(json, "\"ph\":\"E\""));
+  EXPECT_EQ(count_occurrences(json, "{"), count_occurrences(json, "}"));
+  telemetry::reset();
+}
+
+TEST(TelemetryTrace, EmptyTraceIsValid) {
+  if (telemetry::kCompiledIn) {
+    telemetry::set_enabled(false);
+    telemetry::reset();
+  }
+  std::ostringstream os;
+  telemetry::write_chrome_trace(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_EQ(count_occurrences(json, "{"), count_occurrences(json, "}"));
+
+  std::ostringstream summary;
+  telemetry::write_summary(summary);
+  EXPECT_NE(summary.str().find("events=0"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,19 @@
+// lint:zone(telemetry)
+// Known-bad: raw std::atomic state in the telemetry layer outside the
+// sanctioned ring-buffer core. Ad-hoc atomics here are how subtle races
+// and hot-path overhead creep in; everything above the core must build on
+// EventRing and RuntimeGate.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+class AdHocTelemetryCounter {
+ private:
+  std::atomic<std::uint64_t> events_{0};  // expect-lint: raw-atomic-in-telemetry
+  std::atomic<bool> enabled_{false};      // expect-lint: raw-atomic-in-telemetry
+};
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// lint:zone(tests)
+// Known-bad: telemetry calls inside an htm::attempt transaction body. An
+// event record is a non-transactional side effect: it survives an abort
+// and replays on every retry, inflating counts and (on real HTM) adding
+// abort-prone cache traffic. Hooks belong around the attempt.
+#include "sim_htm/htm.hpp"
+#include "telemetry/telemetry.hpp"
+
+void traced_transaction(int* word) {
+  using namespace hcf;
+  telemetry::phase_enter(0);  // fine: outside the transaction
+  htm::attempt([&] {
+    telemetry::htm_commit(false);  // expect-lint: tx-telemetry-call
+    (void)htm::read(word);
+    telemetry::record(telemetry::EventType::PhaseExit);  // expect-lint: tx-telemetry-call
+  });
+  telemetry::phase_exit(0, true);  // fine: outside the transaction
+}

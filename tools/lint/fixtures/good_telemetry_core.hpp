@@ -1,0 +1,18 @@
+// lint:zone(telemetry)
+// lint:telemetry-core — fixture standing in for ring_buffer.hpp: the one
+// telemetry file allowed to hold raw std::atomic state. The marker must
+// exempt it from raw-atomic-in-telemetry.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+class SanctionedRingCore {
+ private:
+  std::atomic<std::uint64_t> head_{0};
+  std::atomic<bool> gate_{false};
+};
+
+}  // namespace fixture

@@ -24,11 +24,22 @@ compiler dependency, by design):
                          htm::strong_*) inside a transaction body
   tx-subscribe-first     in src/core/ engines, a transaction body's first
                          statement must subscribe to the elided lock
+  raw-atomic-in-telemetry no raw std::atomic state in src/telemetry/
+                         outside the sanctioned ring-buffer core (files
+                         carrying a `lint:telemetry-core` marker); the
+                         layer builds on EventRing/RuntimeGate instead
+  tx-telemetry-call      no telemetry:: calls inside an htm::attempt
+                         transaction body — an event record is a
+                         non-transactional side effect that survives
+                         aborts and replays on retry; hooks go around
+                         attempts, never inside
 
 Suppressions (for deliberate violations, e.g. negative tests):
   // lint:allow(rule-id)       — suppress rule-id on this line
   // lint:allow-file(rule-id)  — suppress rule-id in this file
   // lint:zone(core)           — override the path-derived zone (fixtures)
+  // lint:telemetry-core       — marks the telemetry atomic core (exempts
+                                 the file from raw-atomic-in-telemetry)
 
 Diagnostics are 'file:line: [rule-id] message'; exit status is non-zero iff
 any diagnostic was emitted. Lexical limits: the transaction-body rules see
@@ -47,7 +58,9 @@ SOURCE_EXTS = HEADER_EXTS | {".cpp", ".cc", ".cxx"}
 
 ALLOW_LINE_RE = re.compile(r"lint:allow\(([a-z0-9-]+)\)")
 ALLOW_FILE_RE = re.compile(r"lint:allow-file\(([a-z0-9-]+)\)")
-ZONE_RE = re.compile(r"lint:zone\((sim_htm|core|src|tests|other)\)")
+ZONE_RE = re.compile(
+    r"lint:zone\((sim_htm|core|telemetry|src|tests|other)\)")
+TELEMETRY_CORE_RE = re.compile(r"lint:telemetry-core")
 
 STRONG_CALL_RE = re.compile(
     r"\b(?:htm::)?(strong_store|strong_cas|strong_fetch_add|strong_load)\s*\(")
@@ -88,6 +101,8 @@ TX_STRONG_RES = [
 ]
 
 SUBSCRIBE_RE = re.compile(r"\bsubscribe\s*\(\s*\)")
+
+TELEMETRY_CALL_RE = re.compile(r"\btelemetry::\w+\s*\(")
 
 
 class Diagnostic:
@@ -171,6 +186,8 @@ def zone_for(path: str, raw_text: str) -> str:
         return "sim_htm"
     if "/src/core/" in norm or norm.startswith("src/core/"):
         return "core"
+    if "/src/telemetry/" in norm or norm.startswith("src/telemetry/"):
+        return "telemetry"
     if "/src/" in norm or norm.startswith("src/"):
         return "src"
     if "/tests/" in norm or norm.startswith("tests/"):
@@ -257,6 +274,18 @@ class FileLinter:
                 "through TxCell (or carry a lint:allow with justification "
                 "if it is never read transactionally)")
 
+    def check_raw_atomic_in_telemetry(self) -> None:
+        if self.zone != "telemetry":
+            return
+        if TELEMETRY_CORE_RE.search(self.raw):
+            return  # the sanctioned lock-free core (ring_buffer.hpp)
+        for m in RAW_ATOMIC_RE.finditer(self.stripped):
+            self.report(
+                self.line_of(m.start()), "raw-atomic-in-telemetry",
+                "raw std::atomic in the telemetry layer; only the "
+                "lint:telemetry-core ring-buffer file may hold atomic "
+                "state — build on EventRing/RuntimeGate instead")
+
     def tx_bodies(self):
         """Yield (start_offset, end_offset) of every htm::attempt lambda
         body (offsets of '{' and its matching '}')."""
@@ -289,6 +318,14 @@ class FileLinter:
                         f"{what} inside a transaction body; strong "
                         "mutations must run outside transactions "
                         "(use tx_write for buffered writes)")
+
+            for m in TELEMETRY_CALL_RE.finditer(body):
+                self.report(
+                    self.line_of(base + m.start()), "tx-telemetry-call",
+                    "telemetry call inside a transaction body; an event "
+                    "record is a non-transactional side effect that "
+                    "survives aborts and replays on retry — hook around "
+                    "the attempt, not inside it")
 
             self.check_catch_all(body, base)
 
@@ -332,6 +369,7 @@ class FileLinter:
         self.check_includes()
         self.check_strong_outside_sim_htm()
         self.check_raw_atomic_in_core()
+        self.check_raw_atomic_in_telemetry()
         self.check_tx_bodies()
         return self.diags
 

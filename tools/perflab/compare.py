@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Diff two hcf-bench-v1 result sets with noise-aware thresholds.
+
+    tools/perflab/compare.py BASELINE CURRENT [--threshold=0.25] [--min-ops=2000]
+
+BASELINE and CURRENT are each either a single ``BENCH_*.json`` file or a
+directory containing several. Rows are matched on the key
+(bench, workload, engine, threads, cs_work); throughput (``ops_per_sec``)
+is the compared metric.
+
+A row is a *regression* when current throughput falls below
+``baseline * (1 - threshold)``. Rows where either side completed fewer
+than ``--min-ops`` operations are skipped as noise (short CI windows on
+shared machines produce wild ratios on tiny samples). Rows present on
+only one side are reported but never fail the comparison — sweeps grow.
+
+Exit status: 0 clean (improvements are fine), 1 at least one regression,
+2 usage/schema errors.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+SCHEMA = "hcf-bench-v1"
+
+
+def load_result_files(path):
+    """Yield parsed JSON documents from a file or a directory of BENCH_*.json."""
+    if os.path.isdir(path):
+        files = sorted(glob.glob(os.path.join(path, "BENCH_*.json")))
+        if not files:
+            raise ValueError(f"no BENCH_*.json files in {path}")
+    elif os.path.isfile(path):
+        files = [path]
+    else:
+        raise ValueError(f"no such file or directory: {path}")
+    for name in files:
+        with open(name, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+        if doc.get("schema") != SCHEMA:
+            raise ValueError(f"{name}: unexpected schema {doc.get('schema')!r}")
+        yield name, doc
+
+
+def index_rows(path):
+    """Map (bench, workload, engine, threads, cs_work) -> row."""
+    rows = {}
+    for name, doc in load_result_files(path):
+        bench = doc.get("bench", "?")
+        for row in doc.get("results", []):
+            try:
+                key = (bench, row["workload"], row["engine"],
+                       int(row["threads"]), int(row["cs_work"]))
+                float(row["ops_per_sec"])
+                int(row["ops"])
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ValueError(f"{name}: malformed row ({exc})")
+            rows[key] = row
+    return rows
+
+
+def fmt_key(key):
+    bench, workload, engine, threads, cs_work = key
+    return f"{bench}/{workload}/{engine} t={threads} w={cs_work}"
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="baseline file or directory")
+    parser.add_argument("current", help="current file or directory")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed fractional throughput drop (default 0.25)")
+    parser.add_argument("--min-ops", type=int, default=2000,
+                        help="skip rows where either side did fewer ops")
+    args = parser.parse_args(argv)
+
+    if not (0.0 < args.threshold < 1.0):
+        print("error: --threshold must be in (0, 1)", file=sys.stderr)
+        return 2
+
+    try:
+        base = index_rows(args.baseline)
+        curr = index_rows(args.current)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    regressions = []
+    compared = skipped = 0
+    for key in sorted(base):
+        if key not in curr:
+            print(f"[compare] only-in-baseline: {fmt_key(key)}")
+            continue
+        b, c = base[key], curr[key]
+        if int(b["ops"]) < args.min_ops or int(c["ops"]) < args.min_ops:
+            skipped += 1
+            continue
+        compared += 1
+        b_tput = float(b["ops_per_sec"])
+        c_tput = float(c["ops_per_sec"])
+        if b_tput <= 0.0:
+            continue
+        ratio = c_tput / b_tput
+        if ratio < 1.0 - args.threshold:
+            regressions.append((key, b_tput, c_tput, ratio))
+    for key in sorted(set(curr) - set(base)):
+        print(f"[compare] only-in-current: {fmt_key(key)}")
+
+    for key, b_tput, c_tput, ratio in regressions:
+        print(f"[compare] REGRESSION {fmt_key(key)}: "
+              f"{b_tput:.0f} -> {c_tput:.0f} ops/s ({100.0 * (ratio - 1.0):+.1f}%)")
+    print(f"[compare] compared {compared} rows, skipped {skipped} below "
+          f"--min-ops={args.min_ops}, threshold {100.0 * args.threshold:.0f}%: "
+          f"{len(regressions)} regression(s)")
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
