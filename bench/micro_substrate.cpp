@@ -23,6 +23,7 @@
 #include "sim_htm/txcell.hpp"
 #include "sync/spinlock.hpp"
 #include "sync/tx_lock.hpp"
+#include "util/cacheline.hpp"
 #include "util/rng.hpp"
 #include "util/zipf.hpp"
 
@@ -52,7 +53,7 @@ void BM_TxnReadOnly(benchmark::State& state) {
 BENCHMARK(BM_TxnReadOnly)->Arg(1)->Arg(8)->Arg(32);
 
 void BM_TxnWrite(benchmark::State& state) {
-  static std::uint64_t data[64] = {};
+  static std::uint64_t data[256] = {};
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   for (auto _ : state) {
     htm::attempt([&] {
@@ -61,7 +62,83 @@ void BM_TxnWrite(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * n);
 }
-BENCHMARK(BM_TxnWrite)->Arg(1)->Arg(8)->Arg(32);
+BENCHMARK(BM_TxnWrite)->Arg(1)->Arg(8)->Arg(32)->Arg(128);
+
+// The write-set lookup workload: buffer n writes, then read each one back
+// through the write buffer. With the linear-scan write set this was
+// quadratic in n; the signature + index make it linear.
+void BM_TxnReadAfterWrite(benchmark::State& state) {
+  static std::uint64_t data[256] = {};
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    htm::attempt([&] {
+      for (std::size_t i = 0; i < n; ++i) htm::write(&data[i], i);
+      std::uint64_t sum = 0;
+      for (std::size_t i = 0; i < n; ++i) sum += htm::read(&data[i]);
+      benchmark::DoNotOptimize(sum);
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n);
+}
+BENCHMARK(BM_TxnReadAfterWrite)->Arg(8)->Arg(32)->Arg(128);
+
+// Commit-path contention: every thread commits small disjoint write
+// transactions (private padded slots, so no orec conflicts). What remains
+// is the shared commit machinery — version clock and write-back counter.
+void BM_TxnContendedCommit(benchmark::State& state) {
+  static util::CacheAligned<std::uint64_t> slots[16];
+  auto& slot = slots[static_cast<std::size_t>(state.thread_index()) & 15]
+                   .value;
+  for (auto _ : state) {
+    htm::attempt([&] { htm::write(&slot, htm::read(&slot) + 1); });
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TxnContendedCommit)->Threads(2)->Threads(4)->Threads(8);
+
+// Read-mostly transactions next to an unrelated writer: thread 0 commits
+// write transactions on a private word, the rest run 32-word read-only
+// transactions over untouched data. Under EpochMode::Tick every writer
+// commit forces the readers to revalidate their whole read set; under
+// EpochMode::Sampled the readers never notice the writer.
+void ReadMostlyLoop(benchmark::State& state) {
+  static std::uint64_t data[32] = {};
+  static util::CacheAligned<std::uint64_t> writer_word;
+  if (state.thread_index() == 0) {
+    for (auto _ : state) {
+      htm::attempt([&] {
+        htm::write(&writer_word.value, htm::read(&writer_word.value) + 1);
+      });
+    }
+  } else {
+    for (auto _ : state) {
+      htm::attempt([&] {
+        std::uint64_t sum = 0;
+        for (auto& d : data) sum += htm::read(&d);
+        benchmark::DoNotOptimize(sum);
+      });
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_TxnReadMostlyTick(benchmark::State& state) { ReadMostlyLoop(state); }
+BENCHMARK(BM_TxnReadMostlyTick)->Threads(4);
+
+void SetSampledMode(const benchmark::State&) {
+  htm::config().epoch_mode.store(htm::EpochMode::Sampled);
+}
+void RestoreTickMode(const benchmark::State&) {
+  htm::config().epoch_mode.store(htm::EpochMode::Tick);
+}
+
+void BM_TxnReadMostlySampled(benchmark::State& state) {
+  ReadMostlyLoop(state);
+}
+BENCHMARK(BM_TxnReadMostlySampled)
+    ->Threads(4)
+    ->Setup(SetSampledMode)
+    ->Teardown(RestoreTickMode);
 
 void BM_UninstrumentedRead(benchmark::State& state) {
   static std::uint64_t data[64] = {};

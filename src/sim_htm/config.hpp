@@ -5,6 +5,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 
 namespace hcf::htm {
 
@@ -13,11 +14,38 @@ namespace hcf::htm {
 inline constexpr std::size_t kOrecCountLog2 = 16;
 inline constexpr std::size_t kOrecCount = std::size_t{1} << kOrecCountLog2;
 
+// htm::read deduplicates against this many most-recent read-set entries
+// before appending, keeping read sets compact in pointer-chasing loops
+// without an O(n) scan. A window of 8 was tried and measured slower on
+// distinct-address read sets (BM_TxnReadOnly/32: ~+2.4 ns per read from
+// the longer miss scan) with no read-set shrinkage to show for it on the
+// figure workloads, so the window stays at 4; see DESIGN.md §8.
+inline constexpr std::size_t kReadDedupWindow = 4;
+
+// How transactional reads detect that their snapshot may have gone stale
+// (see DESIGN.md §8 "Epoch modes"). Orec versions are derived from one
+// global version clock in both modes, so the modes interoperate and can be
+// switched whenever no transaction is in flight.
+//
+//   * Tick    — every read polls the global clock and fully revalidates the
+//               read set whenever *any* writer committed since the snapshot
+//               (the original, maximally conservative behaviour; read-mostly
+//               transactions pay O(read-set) per unrelated writer commit).
+//   * Sampled — GV-style: a read revalidates only when it actually observes
+//               a version newer than its snapshot, or when the rare-event
+//               strong clock (lock acquisitions / strong stores) moved.
+//               Unrelated writer commits cost read-mostly transactions
+//               nothing, and read-only transactions commit without a final
+//               validation pass.
+enum class EpochMode : std::uint8_t { Tick = 0, Sampled = 1 };
+
 struct Config {
   // Maximum tracked read locations per transaction (≈ L1 lines on RTM).
   std::atomic<std::size_t> read_capacity{8192};
   // Maximum buffered writes per transaction.
   std::atomic<std::size_t> write_capacity{2048};
+  // Snapshot-staleness detection mode, latched per transaction at begin.
+  std::atomic<EpochMode> epoch_mode{EpochMode::Tick};
 };
 
 Config& config() noexcept;
@@ -41,6 +69,24 @@ class ScopedCapacity {
  private:
   std::size_t old_reads_;
   std::size_t old_writes_;
+};
+
+// RAII helper: temporarily overrides the epoch mode. Only switch while no
+// transaction is in flight (each transaction latches the mode at begin; a
+// mid-run switch is safe for *new* transactions but makes stats and abort
+// behaviour a mix of both modes).
+class ScopedEpochMode {
+ public:
+  explicit ScopedEpochMode(EpochMode m) noexcept
+      : old_(config().epoch_mode.load()) {
+    config().epoch_mode.store(m);
+  }
+  ~ScopedEpochMode() { config().epoch_mode.store(old_); }
+  ScopedEpochMode(const ScopedEpochMode&) = delete;
+  ScopedEpochMode& operator=(const ScopedEpochMode&) = delete;
+
+ private:
+  EpochMode old_;
 };
 
 }  // namespace hcf::htm

@@ -1,6 +1,7 @@
 #include "sim_htm/htm.hpp"
 
 #include <memory>
+#include <new>
 
 #include "telemetry/telemetry.hpp"
 #include "util/backoff.hpp"
@@ -21,18 +22,29 @@ namespace detail {
 
 std::atomic<std::uint64_t>* orec_table() noexcept {
   // Zero-initialized static storage; even (version 0) means unlocked.
-  static auto* table = new std::atomic<std::uint64_t>[kOrecCount]{};
+  // Cache-line aligned so no orec straddles a line and the table start
+  // never shares a line with unrelated allocator metadata.
+  static auto* table = new (std::align_val_t{util::kCacheLineSize})
+      std::atomic<std::uint64_t>[kOrecCount]{};
   return table;
 }
 
-std::atomic<std::uint64_t>& global_epoch() noexcept {
-  static std::atomic<std::uint64_t> epoch{0};
-  return epoch;
+// Each global clock gets a private cache line: the version clock is the
+// single hottest shared word in the system and must not false-share with
+// the drain counter or the (read-mostly) strong clock.
+std::atomic<std::uint64_t>& global_clock() noexcept {
+  static util::CacheAligned<std::atomic<std::uint64_t>> clock;
+  return clock.value;
+}
+
+std::atomic<std::uint64_t>& strong_clock() noexcept {
+  static util::CacheAligned<std::atomic<std::uint64_t>> clock;
+  return clock.value;
 }
 
 std::atomic<std::uint64_t>& writeback_count() noexcept {
-  static std::atomic<std::uint64_t> count{0};
-  return count;
+  static util::CacheAligned<std::atomic<std::uint64_t>> count;
+  return count.value;
 }
 
 Txn& txn() noexcept {
@@ -44,7 +56,7 @@ void throw_abort(AbortCode code) { throw TxAbort{code}; }
 
 bool validate_read_set(Txn& t, std::uint64_t self_tag) noexcept {
   for (const auto& r : t.read_set) {
-    const std::uint64_t cur = r.orec->load(std::memory_order_seq_cst);
+    const std::uint64_t cur = r.orec->load(std::memory_order_acquire);
     if (cur == r.version) continue;
     if (self_tag != 0 && cur == self_tag) {
       // We hold this orec for commit; compare against its pre-lock version.
@@ -63,11 +75,30 @@ bool validate_read_set(Txn& t, std::uint64_t self_tag) noexcept {
 }
 
 void extend_snapshot(Txn& t) {
-  const std::uint64_t e = global_epoch().load(std::memory_order_seq_cst);
-  if (!validate_read_set(t, /*self_tag=*/0)) {
-    throw_abort(AbortCode::Conflict);
+  const std::uint64_t c = global_clock().load(std::memory_order_acquire);
+  const std::uint64_t sc = strong_clock().load(std::memory_order_acquire);
+  const std::size_t n = t.read_set.size();
+  // Incremental revalidation: entries [0, validated_count) were proven
+  // consistent at clock `validated_epoch`. If the clock still reads that
+  // value, nothing can have been written back over them (writers release
+  // orecs only after bumping the clock, and a mid-write-back writer's
+  // locked orecs make any read of its target addresses abort), so only the
+  // entries appended since need checking.
+  const std::size_t from =
+      (c == t.validated_epoch) ? t.validated_count : 0;
+  for (std::size_t i = from; i < n; ++i) {
+    const auto& r = t.read_set[i];
+    if (r.orec->load(std::memory_order_acquire) != r.version) {
+      throw_abort(AbortCode::Conflict);
+    }
   }
-  t.snapshot_epoch = e;
+  // The set is consistent at some instant at which the clock read `c`;
+  // every recorded version is ≤ c, so c is a sound new snapshot.
+  t.snapshot_epoch = c;
+  t.snapshot_strong = sc;
+  t.validated_epoch = c;
+  t.validated_count = n;
+  ++t.n_extensions;
 }
 
 void begin_txn(Txn& t) {
@@ -77,8 +108,17 @@ void begin_txn(Txn& t) {
   t.depth = 1;
   t.tid = util::this_thread_id();
   t.last_abort = AbortCode::None;
+  t.mode = config().epoch_mode.load(std::memory_order_relaxed);
   t.reset_logs();
-  t.snapshot_epoch = global_epoch().load(std::memory_order_seq_cst);
+  t.snapshot_epoch = global_clock().load(std::memory_order_acquire);
+  // Only Sampled-mode reads poll the strong clock; Tick transactions skip
+  // the extra cross-line load (extend_snapshot refreshes snapshot_strong
+  // itself whenever it runs).
+  t.snapshot_strong = t.mode == EpochMode::Sampled
+                          ? strong_clock().load(std::memory_order_acquire)
+                          : 0;
+  t.validated_epoch = t.snapshot_epoch;
+  t.validated_count = 0;
   stats().starts.add();
 }
 
@@ -106,15 +146,29 @@ void store_sized(std::uintptr_t addr, std::uint64_t value,
   }
 }
 
+void windex_grow(Txn& t) {
+  t.windex.assign(t.windex.size() * 2, 0);
+  --t.windex_shift;
+  for (std::size_t i = 0; i < t.write_set.size(); ++i) {
+    windex_insert(t, addr_hash(t.write_set[i].addr),
+                  static_cast<std::uint32_t>(i));
+  }
+}
+
 namespace {
 
-void release_acquired(Txn& t, bool bump) noexcept {
+// Releases every held orec. `new_word == 0` rolls back to the pre-lock
+// versions (failed commit); otherwise stores `new_word` (the commit
+// version, already shifted) into each.
+void release_acquired(Txn& t, std::uint64_t new_word) noexcept {
   for (auto it = t.acquired.rbegin(); it != t.acquired.rend(); ++it) {
     // Publish the write-back to transactional readers: their post-load orec
     // validation runs HCF_TSAN_ACQUIRE on the same orec (htm.hpp, read()).
     HCF_TSAN_RELEASE(it->orec);
-    it->orec->store(bump ? it->old_version + 2 : it->old_version,
-                    std::memory_order_seq_cst);
+    // release: pairs with readers' acquire loads of the orec — a reader
+    // that observes the new version also observes the whole write-back.
+    it->orec->store(new_word != 0 ? new_word : it->old_version,
+                    std::memory_order_release);
   }
   t.acquired.clear();
 }
@@ -125,20 +179,16 @@ bool acquire_write_orecs(Txn& t) noexcept {
   const std::uint64_t my_tag = tx_lock_word(t.tid);
   for (const auto& w : t.write_set) {
     auto& orec = orec_for(reinterpret_cast<const void*>(w.addr));
-    // Skip orecs we already own (several writes can share one orec).
-    bool mine = false;
-    for (const auto& a : t.acquired) {
-      if (a.orec == &orec) {
-        mine = true;
-        break;
-      }
-    }
-    if (mine) continue;
-    std::uint64_t cur = orec.load(std::memory_order_seq_cst);
+    std::uint64_t cur = orec.load(std::memory_order_relaxed);
+    // Orecs we already own (several writes can share one orec): the tid
+    // tag is unique to this thread, so one compare replaces a scan.
+    if (cur == my_tag) continue;
+    // acquire on success: imports the previous owner's write-back, so our
+    // own write-back of this line cannot be reordered before theirs.
     if (is_locked(cur) ||
-        !orec.compare_exchange_strong(cur, my_tag,
-                                      std::memory_order_seq_cst)) {
-      release_acquired(t, /*bump=*/false);
+        !orec.compare_exchange_strong(cur, my_tag, std::memory_order_acquire,
+                                      std::memory_order_relaxed)) {
+      release_acquired(t, /*new_word=*/0);
       return false;
     }
     t.acquired.push_back({&orec, cur});
@@ -149,8 +199,10 @@ bool acquire_write_orecs(Txn& t) noexcept {
 void flush_access_counters(Txn& t) noexcept {
   if (t.n_reads != 0) stats().tx_reads.add(t.n_reads);
   if (t.n_writes != 0) stats().tx_writes.add(t.n_writes);
+  if (t.n_extensions != 0) stats().snapshot_extensions.add(t.n_extensions);
   t.n_reads = 0;
   t.n_writes = 0;
+  t.n_extensions = 0;
 }
 
 void finish_commit_bookkeeping(Txn& t) noexcept {
@@ -178,12 +230,18 @@ void commit_txn(Txn& t) {
   protocol::check_commit_subscription(t.subscribed);
 
   if (t.write_set.empty()) {
-    // Read-only: the incremental epoch checks kept the snapshot consistent;
-    // one final validation is needed only if the epoch moved since.
-    if (global_epoch().load(std::memory_order_seq_cst) != t.snapshot_epoch &&
-        !validate_read_set(t, /*self_tag=*/0)) {
-      throw_abort(AbortCode::Conflict);
+    if (t.mode == EpochMode::Tick) {
+      // Read-only, Tick: the per-read clock checks kept the snapshot
+      // consistent; a final validation is needed only if the clock moved
+      // since (and then only for entries not already validated at it).
+      if (global_clock().load(std::memory_order_acquire) !=
+          t.snapshot_epoch) {
+        extend_snapshot(t);
+      }
     }
+    // Read-only, Sampled: every read individually proved version ≤ snapshot
+    // with the strong clock unchanged, so the read set is consistent at the
+    // snapshot and the transaction serializes there — no validation at all.
     stats().read_only_commits.add();
     finish_commit_bookkeeping(t);
     telemetry::htm_commit(/*read_only=*/true);
@@ -196,27 +254,47 @@ void commit_txn(Txn& t) {
   // elidable-lock acquirers first doom future validators (by bumping the
   // lock word's orec) and then wait for this counter to drain, which
   // together guarantee no write-back overlaps under-lock execution.
-  writeback_count().fetch_add(1, std::memory_order_seq_cst);
+  writeback_count().fetch_add(1, std::memory_order_relaxed);
+  // seq_cst: Dekker/store-buffering pair with the fence in
+  // wait_writeback_drain(). Either the drainer's counter load observes our
+  // increment (it waits for our fetch_sub), or this fence follows the
+  // drainer's in the fence order and our validation below observes the
+  // lock word's bumped orec (stored before the drainer's fence) and
+  // aborts. acquire/release alone cannot order these two store→load pairs;
+  // see DESIGN.md §"Substrate performance" and
+  // HtmQuiescence.LockHolderNeverSeesPartialWriteback.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
 
-  if (!validate_read_set(t, tx_lock_word(t.tid))) {
-    writeback_count().fetch_sub(1, std::memory_order_seq_cst);
-    release_acquired(t, /*bump=*/false);
+  // Draw the commit version. acq_rel: the release half publishes our orec
+  // locks (and counter increment) to the next clock RMW, the acquire half
+  // imports every earlier committer's locks, making the fast path below
+  // sound — two writers cannot both skip validation against each other.
+  const std::uint64_t wv =
+      global_clock().fetch_add(1, std::memory_order_acq_rel) + 1;
+
+  // TL2 fast path: wv == snapshot + 1 means no clock increment happened
+  // between our snapshot and our own — nothing was committed or strong-
+  // stored in between, and any concurrent writer drew a later version and
+  // will see our locks when it validates. The read set is trivially valid.
+  if (wv != t.snapshot_epoch + 1 &&
+      !validate_read_set(t, tx_lock_word(t.tid))) {
+    writeback_count().fetch_sub(1, std::memory_order_release);
+    release_acquired(t, /*new_word=*/0);
     throw_abort(AbortCode::Conflict);
   }
 
   for (const auto& w : t.write_set) store_sized(w.addr, w.value, w.size);
 
-  // Epoch must move *before* the orecs are released: a reader that loads a
-  // freshly written value (possible only after release) is then guaranteed
-  // to observe the epoch change and revalidate its read set — otherwise a
-  // zombie could pair the new value with stale earlier reads (opacity
-  // violation, caught by HtmOpacity.InvariantNeverObservedBroken).
-  global_epoch().fetch_add(1, std::memory_order_seq_cst);
-  release_acquired(t, /*bump=*/true);
+  // The clock already reached wv (our own fetch_add), so releasing the
+  // orecs to version wv keeps the invariant that a reader observing the
+  // new version finds the clock at ≥ wv and revalidates against it.
+  release_acquired(t, /*new_word=*/wv << 1);
   // Publish the completed write-back to lock acquirers spinning in
   // wait_writeback_drain (they HCF_TSAN_ACQUIRE the counter on exit).
   HCF_TSAN_RELEASE(&writeback_count());
-  writeback_count().fetch_sub(1, std::memory_order_seq_cst);
+  // release: the drainer's acquire load of 0 imports our write-back (the
+  // RMW release sequence keeps this intact across interleaved committers).
+  writeback_count().fetch_sub(1, std::memory_order_release);
 
   finish_commit_bookkeeping(t);
   telemetry::htm_commit(/*read_only=*/false);
@@ -242,37 +320,82 @@ void abort_cleanup(Txn& t, AbortCode code) noexcept {
 }
 
 std::uint64_t strong_lock_orec(std::atomic<std::uint64_t>& orec) noexcept {
+  // Uncontended fast path: one load, one CAS, no backoff state.
+  std::uint64_t cur = orec.load(std::memory_order_acquire);
+  if (!is_locked(cur) &&
+      orec.compare_exchange_strong(cur, kStrongTag, std::memory_order_acquire,
+                                   std::memory_order_relaxed)) {
+    // Import the previous owner's write-back (commit or strong store).
+    HCF_TSAN_ACQUIRE(&orec);
+    return cur;
+  }
+  // Contended: randomized exponential backoff so strong-store storms on a
+  // hot orec (lock hand-offs, status-word broadcasts) spread out instead
+  // of livelocking the commit path with CAS traffic. Back off only while
+  // the orec is observed held; a failed CAS against a *free* orec retries
+  // immediately — orec hold times are sub-microsecond, so waiting past
+  // them (measured: fig4 Lock @2 threads, -60%) costs more than the CAS
+  // traffic it saves. The small cap keeps the worst wait near one
+  // write-back, not one scheduling quantum.
+  util::ExpBackoff backoff(util::this_thread_id() * 0x9e3779b97f4a7c15ULL + 1,
+                           /*min_spins=*/4, /*max_spins=*/128);
   for (;;) {
-    std::uint64_t cur = orec.load(std::memory_order_seq_cst);
-    if (!is_locked(cur) &&
-        orec.compare_exchange_weak(cur, kStrongTag,
-                                   std::memory_order_seq_cst)) {
-      // Import the previous owner's write-back (commit or strong store).
+    cur = orec.load(std::memory_order_acquire);
+    if (is_locked(cur)) {
+      backoff.pause();
+      continue;
+    }
+    if (orec.compare_exchange_weak(cur, kStrongTag, std::memory_order_acquire,
+                                   std::memory_order_relaxed)) {
       HCF_TSAN_ACQUIRE(&orec);
       return cur;
     }
-    util::cpu_relax();
   }
 }
 
 void strong_unlock_orec(std::atomic<std::uint64_t>& orec, std::uint64_t ver,
                         bool bump) noexcept {
-  // Same ordering requirement as commit write-back: epoch before release,
-  // so any transaction that can observe the new value must revalidate.
-  if (bump) global_epoch().fetch_add(1, std::memory_order_seq_cst);
+  if (bump) {
+    // Same discipline as commit: draw a fresh version (clock bump) before
+    // the orec release, so any transaction that can observe the new value
+    // must revalidate. The strong clock moves second but still before the
+    // orec release and before the caller's subsequent uninstrumented
+    // stores, which is what Sampled-mode readers poll.
+    const std::uint64_t wv =
+        global_clock().fetch_add(1, std::memory_order_acq_rel) + 1;
+    strong_clock().fetch_add(1, std::memory_order_acq_rel);
+    HCF_TSAN_RELEASE(&orec);
+    orec.store(wv << 1, std::memory_order_release);
+    return;
+  }
   HCF_TSAN_RELEASE(&orec);
-  orec.store(bump ? ver + 2 : ver, std::memory_order_seq_cst);
+  orec.store(ver, std::memory_order_release);
 }
 
 }  // namespace detail
 
 void wait_writeback_drain() noexcept {
-  while (detail::writeback_count().load(std::memory_order_seq_cst) != 0) {
-    util::cpu_relax();
+  // seq_cst: Dekker/store-buffering pair with the fence in commit_txn().
+  // Our caller already stored the doom (bumped lock-word orec) before
+  // calling; this fence orders that store before the counter loads below,
+  // so every committer either sees the doom during validation or is seen
+  // here and drained. See DESIGN.md §"Substrate performance".
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  auto& count = detail::writeback_count();
+  if (count.load(std::memory_order_acquire) != 0) {
+    // Write-backs are a bounded store loop, so the drain is short; the
+    // small cap bounds added lock-acquisition latency while still taking
+    // the counter line out of the spin loop's cache traffic.
+    util::ExpBackoff backoff(
+        util::this_thread_id() * 0x9e3779b97f4a7c15ULL + 1,
+        /*min_spins=*/4, /*max_spins=*/128);
+    do {
+      backoff.pause();
+    } while (count.load(std::memory_order_acquire) != 0);
   }
   // Quiescence gate: everything written back by the drained transactions is
   // now visible to this (lock-holding) thread's uninstrumented accesses.
-  HCF_TSAN_ACQUIRE(&detail::writeback_count());
+  HCF_TSAN_ACQUIRE(&count);
 }
 
 }  // namespace hcf::htm

@@ -6,16 +6,23 @@
 // non-transactional accesses to the words transactions subscribe to.
 //
 // Implementation: a lazy-versioning (write-buffer) STM over a global
-// ownership-record (orec) table.
+// ownership-record (orec) table, with TL2-style versions drawn from one
+// global version clock.
 //
 //   * tx reads validate the orec version around the value load and record
-//     it in a read set; a global epoch counter triggers full read-set
-//     revalidation, giving opacity (no zombie execution) in the style of
-//     LSA/TL2 timestamp extension.
+//     it in a read set; snapshot staleness is detected against the global
+//     version clock and repaired by read-set revalidation ("snapshot
+//     extension"), giving opacity (no zombie execution) in the style of
+//     LSA/TL2. Two detection policies are available (config.hpp):
+//     EpochMode::Tick polls the clock on every read, EpochMode::Sampled
+//     revalidates only when a read observes a version newer than its
+//     snapshot or the rare-event strong clock moved.
 //   * tx writes are buffered; memory is only touched during commit
 //     write-back, after the write orecs are acquired and the read set
 //     validated. Non-instrumented code (a thread holding the elided lock)
-//     therefore never observes speculative state.
+//     therefore never observes speculative state. The write buffer is
+//     indexed by a 64-bit Bloom-style signature plus a small open-addressed
+//     hash index, so read-after-write and write upserts are O(1).
 //   * non-transactional ("strong") stores to words transactions read — lock
 //     words, operation statuses, publication slots — go through the same
 //     orec protocol via TxCell (txcell.hpp), so they doom overlapping
@@ -23,6 +30,12 @@
 //   * lock acquirers call wait_writeback_drain() after dooming subscribers,
 //     closing the race with transactions already past validation (see
 //     DESIGN.md, "quiescence gate").
+//
+// Memory ordering: the substrate runs on acquire/release pairs; the only
+// seq_cst operations are the two fences forming the quiescence gate's
+// Dekker pattern (htm.cpp), each carrying a `// seq_cst:` justification
+// (enforced by tools/lint/hcf_lint.py). The proof obligations are written
+// out in DESIGN.md §"Substrate performance".
 //
 // Usage restrictions (all enforced or documented at call sites):
 //   * values accessed via read/write are trivially copyable, ≤ 8 bytes,
@@ -33,6 +46,7 @@
 //     must subscribe to that lock (engines do this on their first read).
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cassert>
 #include <cstdint>
@@ -47,6 +61,7 @@
 #include "sim_htm/protocol_check.hpp"
 #include "sim_htm/stats.hpp"
 #include "sim_htm/tsan.hpp"
+#include "util/cacheline.hpp"
 #include "util/rng.hpp"
 #include "util/thread_id.hpp"
 
@@ -55,9 +70,10 @@ namespace hcf::htm {
 namespace detail {
 
 // ---- Orec table ----------------------------------------------------------
-// Word layout: even value => version of the last committed write;
-// odd value => locked, either by a committing transaction (tid << 1 | 1) or
-// by a strong store (kStrongTag).
+// Word layout: even value => (version << 1) of the last committed write,
+// where `version` was drawn from the global version clock; odd value =>
+// locked, either by a committing transaction (tid << 1 | 1) or by a strong
+// store (kStrongTag).
 inline constexpr std::uint64_t kStrongTag = ~std::uint64_t{0};  // odd
 
 std::atomic<std::uint64_t>* orec_table() noexcept;
@@ -76,8 +92,20 @@ inline std::uint64_t tx_lock_word(std::size_t tid) noexcept {
   return (static_cast<std::uint64_t>(tid) << 1) | 1;
 }
 
+// Version carried by an (even, unlocked) orec word.
+inline std::uint64_t orec_version(std::uint64_t word) noexcept {
+  return word >> 1;
+}
+
 // ---- Global clocks -------------------------------------------------------
-std::atomic<std::uint64_t>& global_epoch() noexcept;
+// global_clock: the TL2 version clock. Bumped (acq_rel RMW) by every
+// writer commit and strong store *before* the corresponding orecs are
+// released, so an orec can never expose a version the clock has not reached.
+// strong_clock: counts only strong stores / lock-word transitions — the
+// rare events Sampled-mode readers must poll for (lock holders write
+// uninstrumented data that leaves no orec evidence).
+std::atomic<std::uint64_t>& global_clock() noexcept;
+std::atomic<std::uint64_t>& strong_clock() noexcept;
 std::atomic<std::uint64_t>& writeback_count() noexcept;
 
 // ---- Transaction descriptor ----------------------------------------------
@@ -102,22 +130,58 @@ struct CleanupEntry {
   void (*fn)(void*);
 };
 
-struct Txn {
+// Write-set index sizing. Slots are u64 = (generation << 32) | (entry+1);
+// generation tagging makes per-transaction clear O(1) (bump the tag)
+// instead of O(table).
+inline constexpr std::size_t kWindexInitialSlots = 64;
+inline constexpr std::uint8_t kWindexInitialShift = 64 - 6;  // log2(64)
+
+inline std::uint64_t addr_hash(std::uintptr_t a) noexcept {
+  return static_cast<std::uint64_t>(a) * 0x9e3779b97f4a7c15ULL;
+}
+
+// Bloom bit for the write signature. Uses bits 52..57 of the hash so the
+// signature stays decorrelated from the index's probe slot (top bits).
+inline std::uint64_t sig_bit(std::uint64_t h) noexcept {
+  return std::uint64_t{1} << ((h >> 52) & 63);
+}
+
+struct alignas(util::kCacheLineSize) Txn {
+  // --- Hot line: everything the per-access fast path touches. ---
   bool active = false;
   // Set by elidable-lock subscribe() calls; consumed by the protocol
   // checker's commit check. Maintained unconditionally (one byte, one
   // store per subscription) so all build flavours share one Txn layout.
   bool subscribed = false;
+  // Snapshot-staleness policy, latched from config() at begin.
+  EpochMode mode = EpochMode::Tick;
+  // 64 - log2(windex slots): hash >> shift is the probe start.
+  std::uint8_t windex_shift = kWindexInitialShift;
   std::uint32_t depth = 0;
-  std::size_t tid = 0;
+  // The read snapshot (TL2 "rv"): reads are consistent as of this clock.
   std::uint64_t snapshot_epoch = 0;
-  AbortCode last_abort = AbortCode::None;
+  std::uint64_t snapshot_strong = 0;
+  // Bloom signature of buffered write addresses: one AND rejects the
+  // write-set lookup for the (dominant) read-with-no-prior-write case.
+  std::uint64_t write_sig = 0;
   // Access counters, flushed to the global stats at commit/abort so the
   // hot path pays one local increment instead of a TLS counter lookup.
   std::uint64_t n_reads = 0;
   std::uint64_t n_writes = 0;
+  std::size_t tid = 0;
+
+  // --- Validation bookkeeping and cold fields. ---
+  // Entries [0, validated_count) are known valid at clock validated_epoch;
+  // extension skips them when the clock has not moved since.
+  std::uint64_t validated_epoch = 0;
+  std::size_t validated_count = 0;
+  std::uint64_t n_extensions = 0;
+  std::uint32_t windex_gen = 0;
+  AbortCode last_abort = AbortCode::None;
   std::vector<ReadEntry> read_set;
   std::vector<WriteEntry> write_set;
+  std::vector<std::uint64_t> windex =
+      std::vector<std::uint64_t>(kWindexInitialSlots, 0);
   std::vector<AcquiredOrec> acquired;
   std::vector<CleanupEntry> alloc_log;   // freed on abort
   std::vector<CleanupEntry> retire_log;  // EBR-retired on commit
@@ -128,6 +192,13 @@ struct Txn {
     acquired.clear();
     alloc_log.clear();
     retire_log.clear();
+    write_sig = 0;
+    // O(1) index clear: stale-generation slots read as empty. Zero-fill
+    // only on the (once per 2^32 transactions) generation wrap.
+    if (++windex_gen == 0) {
+      std::fill(windex.begin(), windex.end(), std::uint64_t{0});
+      windex_gen = 1;
+    }
   }
 };
 
@@ -139,13 +210,44 @@ Txn& txn() noexcept;
 // the caller's commit lock word if the caller holds orecs (0 otherwise).
 bool validate_read_set(Txn& t, std::uint64_t self_tag) noexcept;
 
-// Revalidates after a global-epoch change observed mid-transaction;
-// aborts (throws) on failure. Keeps opacity.
+// Revalidates after observing evidence of a newer snapshot (clock moved /
+// newer orec version / strong clock moved); aborts (throws) on failure.
+// Keeps opacity. Incremental: entries already validated at the current
+// clock value are skipped.
 void extend_snapshot(Txn& t);
 
 void begin_txn(Txn& t);
 void commit_txn(Txn& t);                // throws TxAbort on validation failure
 void abort_cleanup(Txn& t, AbortCode code) noexcept;
+
+// Rebuilds the write-set index at double capacity (cold path).
+void windex_grow(Txn& t);
+
+// Open-addressed lookup. A slot belongs to the current transaction iff its
+// generation tag matches; anything else terminates the probe (there are no
+// deletions within a transaction, so probes never skip holes).
+inline WriteEntry* windex_find(Txn& t, std::uintptr_t addr,
+                               std::uint64_t h) noexcept {
+  const std::size_t mask = t.windex.size() - 1;
+  const std::uint64_t* slots = t.windex.data();
+  for (std::size_t i = static_cast<std::size_t>(h >> t.windex_shift);;
+       i = (i + 1) & mask) {
+    const std::uint64_t slot = slots[i];
+    if ((slot >> 32) != t.windex_gen) return nullptr;
+    WriteEntry* w = &t.write_set[static_cast<std::uint32_t>(slot) - 1];
+    if (w->addr == addr) return w;
+  }
+}
+
+// Inserts write_set[idx] (caller guarantees the key is absent and the load
+// factor is below 3/4, so an empty slot exists).
+inline void windex_insert(Txn& t, std::uint64_t h, std::uint32_t idx) noexcept {
+  const std::size_t mask = t.windex.size() - 1;
+  std::size_t i = static_cast<std::size_t>(h >> t.windex_shift);
+  while ((t.windex[i] >> 32) == t.windex_gen) i = (i + 1) & mask;
+  t.windex[i] =
+      (static_cast<std::uint64_t>(t.windex_gen) << 32) | (idx + 1);
+}
 
 // Raw value transport. Sized so that write-back can replay buffered writes.
 template <typename T>
@@ -182,11 +284,14 @@ concept TxValue = std::is_trivially_copyable_v<T> && sizeof(T) <= 8 &&
                    sizeof(T) == 8);
 
 // Looks up `addr` in the write buffer; returns pointer to entry or null.
+// O(1): one signature AND rejects the common miss, the index resolves hits.
 inline WriteEntry* find_write(Txn& t, std::uintptr_t addr) noexcept {
-  for (auto it = t.write_set.rbegin(); it != t.write_set.rend(); ++it) {
-    if (it->addr == addr) return &*it;
-  }
-  return nullptr;
+  // Empty-signature early-out before hashing: read-only transactions (and
+  // reads before the first write) skip even the multiply.
+  if (t.write_sig == 0) return nullptr;
+  const std::uint64_t h = addr_hash(addr);
+  if (!(t.write_sig & sig_bit(h))) return nullptr;
+  return windex_find(t, addr, h);
 }
 
 }  // namespace detail
@@ -220,39 +325,67 @@ inline T read(const T* addr) {
   }
 
   auto& orec = detail::orec_for(addr);
-  const std::uint64_t v1 = orec.load(std::memory_order_seq_cst);
-  if (detail::is_locked(v1)) detail::throw_abort(AbortCode::Conflict);
-  const T value = detail::atomic_load_acquire(addr);
-  const std::uint64_t v2 = orec.load(std::memory_order_seq_cst);
-  if (v1 != v2) detail::throw_abort(AbortCode::Conflict);
+  T value;
+  std::uint64_t v1;
+  for (;;) {
+    // acquire: pairs with the committer's release store of the orec, so a
+    // stable even version implies the whole write-back of that version
+    // happened-before our value load.
+    v1 = orec.load(std::memory_order_acquire);
+    if (detail::is_locked(v1)) detail::throw_abort(AbortCode::Conflict);
+    value = detail::atomic_load_acquire(addr);
+    // acquire: if the value load ingested a committer's release store, the
+    // committer's earlier orec lock CAS is visible here, so v2 reads locked
+    // (or a newer version) and we abort instead of keeping a torn read.
+    const std::uint64_t v2 = orec.load(std::memory_order_acquire);
+    if (v1 != v2) detail::throw_abort(AbortCode::Conflict);
+    if (t.mode == EpochMode::Tick) break;
+    // Sampled: revalidate only on actual evidence of staleness — a version
+    // newer than our snapshot, or movement of the rare-event strong clock
+    // (checked *after* the value load so a lock holder's uninstrumented
+    // store can never be ingested without the strong bump being visible).
+    if (detail::orec_version(v1) > t.snapshot_epoch) {
+      detail::extend_snapshot(t);
+      continue;
+    }
+    if (detail::strong_clock().load(std::memory_order_acquire) !=
+        t.snapshot_strong) {
+      detail::extend_snapshot(t);
+      continue;
+    }
+    break;
+  }
   // A stable orec around the load means we read a committed value; import
   // the committing thread's writes (it ran HCF_TSAN_RELEASE on this orec
   // before releasing it). No-op outside TSan builds; see tsan.hpp.
   HCF_TSAN_ACQUIRE(&orec);
 
   // Cheap dedup against the most recent entries keeps read sets compact in
-  // pointer-chasing loops without an O(n) scan.
+  // pointer-chasing loops without an O(n) scan. Matches the same orec at
+  // the same version anywhere in the window, independent of access order.
   bool dup = false;
   const std::size_t n = t.read_set.size();
-  for (std::size_t i = n > 4 ? n - 4 : 0; i < n; ++i) {
+  for (std::size_t i = n > kReadDedupWindow ? n - kReadDedupWindow : 0; i < n;
+       ++i) {
     if (t.read_set[i].orec == &orec && t.read_set[i].version == v1) {
       dup = true;
       break;
     }
   }
   if (!dup) {
-    if (t.read_set.size() >= config().read_capacity.load(
-                                 std::memory_order_relaxed)) {
+    if (n >= config().read_capacity.load(std::memory_order_relaxed)) {
       detail::throw_abort(AbortCode::Capacity);
     }
     t.read_set.push_back({&orec, v1});
   }
 
-  // Opacity: if anyone committed since our snapshot, make sure everything
-  // we have read is still mutually consistent.
-  const std::uint64_t e =
-      detail::global_epoch().load(std::memory_order_seq_cst);
-  if (e != t.snapshot_epoch) detail::extend_snapshot(t);
+  if (t.mode == EpochMode::Tick) {
+    // Opacity, Tick policy: if anyone committed since our snapshot, make
+    // sure everything we have read is still mutually consistent.
+    const std::uint64_t c =
+        detail::global_clock().load(std::memory_order_acquire);
+    if (c != t.snapshot_epoch) detail::extend_snapshot(t);
+  }
   return value;
 }
 
@@ -268,17 +401,27 @@ inline void write(T* addr, T value) {
   }
   ++t.n_writes;
   const auto a = reinterpret_cast<std::uintptr_t>(addr);
-  if (auto* w = detail::find_write(t, a)) {
-    assert(w->size == sizeof(T) && "mixed-size access to the same address");
-    w->value = detail::to_word(value);
-    return;
+  const std::uint64_t h = detail::addr_hash(a);
+  const std::uint64_t bit = detail::sig_bit(h);
+  if (t.write_sig & bit) {
+    if (auto* w = detail::windex_find(t, a, h)) {
+      assert(w->size == sizeof(T) && "mixed-size access to the same address");
+      w->value = detail::to_word(value);
+      return;
+    }
   }
   if (t.write_set.size() >=
       config().write_capacity.load(std::memory_order_relaxed)) {
     detail::throw_abort(AbortCode::Capacity);
   }
+  if ((t.write_set.size() + 1) * 4 > t.windex.size() * 3) {
+    detail::windex_grow(t);
+  }
   t.write_set.push_back({a, detail::to_word(value),
                          static_cast<std::uint8_t>(sizeof(T))});
+  t.write_sig |= bit;
+  detail::windex_insert(t, h,
+                        static_cast<std::uint32_t>(t.write_set.size() - 1));
 }
 
 // Runs `body` as one transaction attempt. Returns true if it committed.
@@ -334,11 +477,12 @@ void retire(T* p) {
 // ---- Strong (non-transactional) operations --------------------------------
 // For words that transactions subscribe to. Serialized through the word's
 // orec so they are atomic with respect to commit write-back, and they bump
-// the orec version + global epoch so overlapping transactions abort.
+// the orec version + version clock (+ strong clock) so overlapping
+// transactions abort.
 
 namespace detail {
-// Spins until the orec is unlocked and returns the (even) version word
-// after locking it with kStrongTag.
+// Spins (with randomized exponential backoff) until the orec is unlocked
+// and returns the (even) version word after locking it with kStrongTag.
 std::uint64_t strong_lock_orec(std::atomic<std::uint64_t>& orec) noexcept;
 void strong_unlock_orec(std::atomic<std::uint64_t>& orec, std::uint64_t ver,
                         bool bump) noexcept;

@@ -19,6 +19,9 @@ struct Stats {
   util::Counter tx_reads;
   util::Counter tx_writes;
   util::Counter strong_stores;
+  // Read-set revalidations (snapshot extensions). The Tick/Sampled epoch
+  // modes trade these off against per-read clock polling; see config.hpp.
+  util::Counter snapshot_extensions;
   // Protocol-checker violation counters (sim_htm/protocol_check.hpp).
   // Always present so release and checker builds share one layout; only
   // bumped when HCF_CHECK_PROTOCOL is compiled in and the mode is Count.
@@ -45,6 +48,7 @@ struct Stats {
     tx_reads.reset();
     tx_writes.reset();
     strong_stores.reset();
+    snapshot_extensions.reset();
     proto_strong_in_tx.reset();
     proto_misaligned.reset();
     proto_unsubscribed_commits.reset();
@@ -62,6 +66,7 @@ struct StatsSnapshot {
   std::uint64_t tx_reads = 0;
   std::uint64_t tx_writes = 0;
   std::uint64_t strong_stores = 0;
+  std::uint64_t snapshot_extensions = 0;
 
   static StatsSnapshot capture() noexcept {
     StatsSnapshot s;
@@ -73,6 +78,7 @@ struct StatsSnapshot {
     s.tx_reads = g.tx_reads.total();
     s.tx_writes = g.tx_writes.total();
     s.strong_stores = g.strong_stores.total();
+    s.snapshot_extensions = g.snapshot_extensions.total();
     return s;
   }
 
@@ -85,6 +91,7 @@ struct StatsSnapshot {
     d.tx_reads = tx_reads - base.tx_reads;
     d.tx_writes = tx_writes - base.tx_writes;
     d.strong_stores = strong_stores - base.strong_stores;
+    d.snapshot_extensions = snapshot_extensions - base.snapshot_extensions;
     return d;
   }
 

@@ -1,0 +1,21 @@
+// lint:zone(sim_htm)
+// Known-bad: memory_order_seq_cst in the substrate without the required
+// '// seq_cst:' justification. The substrate runs on acquire/release; a
+// seq_cst without a written proof obligation is either a leftover from
+// before the ordering diet or an unproven assumption.
+#include <atomic>
+
+std::atomic<int> g{0};
+
+int unjustified_load() {
+  return g.load(std::memory_order_seq_cst);  // expect-lint: seq-cst-justification
+}
+
+void unjustified_fence() {
+  // A plain explanatory comment is not a justification marker.
+  std::atomic_thread_fence(std::memory_order_seq_cst);  // expect-lint: seq-cst-justification
+}
+
+void unjustified_rmw() {
+  g.fetch_add(1, std::memory_order_seq_cst);  // expect-lint: seq-cst-justification
+}

@@ -1,0 +1,23 @@
+// lint:zone(sim_htm)
+// Both sanctioned justification spellings: a '// seq_cst:' marker on the
+// same line, or anywhere in the comment block directly above the
+// operation. Non-seq_cst orderings need no marker.
+#include <atomic>
+
+std::atomic<int> g{0};
+
+int same_line_marker() {
+  return g.load(std::memory_order_seq_cst);  // seq_cst: example total-order proof
+}
+
+void block_above_marker() {
+  // seq_cst: Dekker/store-buffering pair with a matching fence elsewhere;
+  // acquire/release alone cannot order the two store->load pairs.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+}
+
+void weaker_orders_need_no_marker() {
+  g.store(1, std::memory_order_release);
+  (void)g.load(std::memory_order_acquire);
+  g.fetch_add(1, std::memory_order_acq_rel);
+}

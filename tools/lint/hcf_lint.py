@@ -33,6 +33,11 @@ compiler dependency, by design):
                          non-transactional side effect that survives
                          aborts and replays on retry; hooks go around
                          attempts, never inside
+  seq-cst-justification  every memory_order_seq_cst in src/sim_htm/ must
+                         carry a '// seq_cst:' justification comment on
+                         the same line or in the comment block directly
+                         above — the substrate runs on acquire/release,
+                         and each seq_cst is a proof obligation
 
 Suppressions (for deliberate violations, e.g. negative tests):
   // lint:allow(rule-id)       — suppress rule-id on this line
@@ -101,6 +106,10 @@ TX_STRONG_RES = [
 ]
 
 SUBSCRIBE_RE = re.compile(r"\bsubscribe\s*\(\s*\)")
+
+SEQ_CST_RE = re.compile(r"\bmemory_order_seq_cst\b")
+SEQ_CST_JUSTIFICATION_RE = re.compile(r"//\s*seq_cst:")
+COMMENT_LINE_RE = re.compile(r"^\s*//")
 
 TELEMETRY_CALL_RE = re.compile(r"\btelemetry::\w+\s*\(")
 
@@ -286,6 +295,33 @@ class FileLinter:
                 "lint:telemetry-core ring-buffer file may hold atomic "
                 "state — build on EventRing/RuntimeGate instead")
 
+    def check_seq_cst_justification(self) -> None:
+        if self.zone != "sim_htm":
+            return
+        for m in SEQ_CST_RE.finditer(self.stripped):
+            line = self.line_of(m.start())
+            if self.seq_cst_justified(line):
+                continue
+            self.report(
+                line, "seq-cst-justification",
+                "memory_order_seq_cst without an adjacent '// seq_cst:' "
+                "justification comment; the substrate's ordering diet "
+                "requires each remaining seq_cst to document the proof "
+                "obligation it discharges (DESIGN.md, Substrate "
+                "performance)")
+
+    def seq_cst_justified(self, line: int) -> bool:
+        """True if raw line `line` (1-based) carries a '// seq_cst:' marker
+        or sits directly under a comment block containing one."""
+        if SEQ_CST_JUSTIFICATION_RE.search(self.raw_lines[line - 1]):
+            return True
+        i = line - 1  # 0-based index of the line above
+        while i >= 1 and COMMENT_LINE_RE.match(self.raw_lines[i - 1]):
+            if SEQ_CST_JUSTIFICATION_RE.search(self.raw_lines[i - 1]):
+                return True
+            i -= 1
+        return False
+
     def tx_bodies(self):
         """Yield (start_offset, end_offset) of every htm::attempt lambda
         body (offsets of '{' and its matching '}')."""
@@ -370,6 +406,7 @@ class FileLinter:
         self.check_strong_outside_sim_htm()
         self.check_raw_atomic_in_core()
         self.check_raw_atomic_in_telemetry()
+        self.check_seq_cst_justification()
         self.check_tx_bodies()
         return self.diags
 
