@@ -18,7 +18,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdint>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "core/hcf_engine.hpp"
@@ -72,16 +74,36 @@ class AvlOpBase : public core::Operation<ds::AvlTree<K>> {
     return (key_ < root_key) == (cand.key_ < root_key);
   }
 
-  // Sorted, combining + eliminating batch application.
+  // The engines pre-sort selected batches by this key (DESIGN.md §9.2),
+  // so run_multi usually finds its key groups already contiguous. The
+  // mapping is order-preserving: flipping the sign bit of the same-width
+  // unsigned image puts negative keys below positive ones.
+  bool combine_keyed() const override { return true; }
+  std::uint64_t combine_key() const override {
+    using U = std::make_unsigned_t<K>;
+    std::uint64_t u = static_cast<std::uint64_t>(static_cast<U>(key_));
+    if constexpr (std::is_signed_v<K>) {
+      u ^= std::uint64_t{1} << (sizeof(K) * 8 - 1);
+    }
+    return u;
+  }
+
+  // Sorted, combining + eliminating batch application. Key order is what
+  // elimination needs; within a key group any order is a valid
+  // linearization, so the engine's key-only pre-sort suffices and the
+  // local sort only runs for callers that bypassed it.
   std::size_t run_multi(Tree& ds, std::span<Op*> ops) override {
     const std::size_t k = std::min(ops.size(), kAvlMaxBatch);
-    std::sort(ops.begin(), ops.begin() + static_cast<std::ptrdiff_t>(k),
-              [](Op* a, Op* b) {
-                auto* oa = static_cast<AvlOpBase*>(a);
-                auto* ob = static_cast<AvlOpBase*>(b);
-                if (oa->key_ != ob->key_) return oa->key_ < ob->key_;
-                return static_cast<int>(oa->kind_) < static_cast<int>(ob->kind_);
-              });
+    const auto by_key = [](Op* a, Op* b) {
+      return static_cast<AvlOpBase*>(a)->key_ <
+             static_cast<AvlOpBase*>(b)->key_;
+    };
+    if (!std::is_sorted(ops.begin(),
+                        ops.begin() + static_cast<std::ptrdiff_t>(k),
+                        by_key)) {
+      std::sort(ops.begin(), ops.begin() + static_cast<std::ptrdiff_t>(k),
+                by_key);
+    }
     std::size_t i = 0;
     while (i < k) {
       std::size_t j = i;

@@ -52,6 +52,13 @@ class PqOpBase : public core::Operation<ds::SkipListPq<K>> {
   // directly and neither operation touches the skip list (the linearization
   // puts each consumed Insert immediately before the RemoveMin it serves,
   // and the surviving Inserts after the batch's RemoveMins).
+  // Engine-side pre-sort (DESIGN.md §9.2) puts RemoveMins before Inserts,
+  // so the partition below degenerates to a verifying scan with no swaps.
+  bool combine_keyed() const override { return true; }
+  std::uint64_t combine_key() const override {
+    return kind_ == Kind::RemoveMin ? 0 : 1;
+  }
+
   std::size_t run_multi(Pq& ds, std::span<Op*> ops) override {
     auto* begin = ops.data();
     auto* end = begin + ops.size();

@@ -36,6 +36,13 @@ class StackOpBase : public core::Operation<ds::Stack<T>> {
   Kind kind() const noexcept { return kind_; }
   void set_work(std::uint32_t spins) noexcept { work_ = spins; }
 
+  // Engine-side pre-sort (DESIGN.md §9.2) puts pushes before pops, so the
+  // partition below degenerates to a verifying scan with no swaps.
+  bool combine_keyed() const override { return true; }
+  std::uint64_t combine_key() const override {
+    return kind_ == Kind::Push ? 0 : 1;
+  }
+
   std::size_t run_multi(St& ds, std::span<Op*> ops) override {
     // Partition pushes to the front.
     auto* begin = ops.data();

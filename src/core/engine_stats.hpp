@@ -22,6 +22,12 @@ struct EngineStats {
   util::Counter ops_selected;        // total ops chosen by combiners
   util::Counter combine_rounds;      // run_multi invocations by combiners
   util::Counter helped_ops;          // ops completed by a thread != owner
+  // Combiner fast-path telemetry (DESIGN.md §9): occupancy words the
+  // selection scan never touched, and the key-grouping shape of selected
+  // batches (sum of group sizes over count of groups = mean group size).
+  util::Counter scan_words_skipped;  // empty 64-slot words skipped per scan
+  util::Counter batch_groups;        // distinct combine-key groups formed
+  util::Counter batch_group_sizes;   // ops covered by those groups
 
   void record_completion(int cls, Phase phase) noexcept {
     completions[static_cast<std::size_t>(cls % kMaxOpClasses)]
@@ -76,6 +82,9 @@ struct EngineStats {
     ops_selected.reset();
     combine_rounds.reset();
     helped_ops.reset();
+    scan_words_skipped.reset();
+    batch_groups.reset();
+    batch_group_sizes.reset();
   }
 };
 
@@ -88,6 +97,9 @@ struct EngineStatsSnapshot {
   std::uint64_t ops_selected = 0;
   std::uint64_t combine_rounds = 0;
   std::uint64_t helped_ops = 0;
+  std::uint64_t scan_words_skipped = 0;
+  std::uint64_t batch_groups = 0;
+  std::uint64_t batch_group_sizes = 0;
 
   static EngineStatsSnapshot capture(const EngineStats& s) noexcept {
     EngineStatsSnapshot snap;
@@ -103,6 +115,9 @@ struct EngineStatsSnapshot {
     snap.ops_selected = s.ops_selected.total();
     snap.combine_rounds = s.combine_rounds.total();
     snap.helped_ops = s.helped_ops.total();
+    snap.scan_words_skipped = s.scan_words_skipped.total();
+    snap.batch_groups = s.batch_groups.total();
+    snap.batch_group_sizes = s.batch_group_sizes.total();
     return snap;
   }
 
@@ -120,6 +135,9 @@ struct EngineStatsSnapshot {
     d.ops_selected = ops_selected - base.ops_selected;
     d.combine_rounds = combine_rounds - base.combine_rounds;
     d.helped_ops = helped_ops - base.helped_ops;
+    d.scan_words_skipped = scan_words_skipped - base.scan_words_skipped;
+    d.batch_groups = batch_groups - base.batch_groups;
+    d.batch_group_sizes = batch_group_sizes - base.batch_group_sizes;
     return d;
   }
 

@@ -7,6 +7,8 @@
 // No HTM is used anywhere; all work happens under the single global lock.
 #pragma once
 
+#include <cstdint>
+#include <span>
 #include <string_view>
 #include <vector>
 
@@ -41,11 +43,21 @@ class FcEngine {
     array_.add(&op);
     telemetry::phase_enter(static_cast<int>(Phase::Visible));
 
-    util::SpinWait waiter;
+    // Waiter protocol (DESIGN.md §9.3): bounded exponential pause on our
+    // own status line; when the combiner's epoch moves a batch just
+    // retired, so re-check status before re-polling the lock line.
+    util::ProportionalWait waiter;
+    std::uint64_t epoch = array_.combined_epoch();
     for (;;) {
       if (op.status() == OpStatus::Done) {
         telemetry::phase_exit(static_cast<int>(Phase::Visible), true);
         return op.completed_phase();
+      }
+      const std::uint64_t now = array_.combined_epoch();
+      if (now != epoch) {
+        epoch = now;
+        waiter.reset();
+        continue;
       }
       if (lock_.try_lock()) {
         telemetry::phase_exit(static_cast<int>(Phase::Visible), false);
@@ -76,20 +88,24 @@ class FcEngine {
  private:
   void combine(Op& own) {
     stats_.combiner_sessions.add();
-    const std::size_t self = util::this_thread_id();
     std::vector<Op*>& batch = scratch();
     for (int round = 0; round < scan_rounds_; ++round) {
       batch.clear();
-      array_.for_each_announced([&](Op* op, std::size_t slot) {
-        if (op->status() == OpStatus::Announced) {
-          array_.clear_slot(slot);
-          batch.push_back(op);
-        }
-      });
+      // scan-locked: execute() won the data-structure lock, which is FC's
+      // selection lock — no other combiner can scan concurrently.
+      const std::size_t words_skipped = array_.collect_announced(
+          batch, [](Op* op) { return op->status() == OpStatus::Announced; });
+      stats_.scan_words_skipped.add(words_skipped);
       if (batch.empty()) {
         if (own.status() == OpStatus::Done) return;
         continue;
       }
+      if (batch.size() > 1 && own.combine_keyed()) {
+        const std::size_t groups = group_batch(std::span<Op*>(batch));
+        stats_.batch_groups.add(groups);
+        stats_.batch_group_sizes.add(batch.size());
+      }
+      prefetch_batch(std::span<Op* const>(batch));
       stats_.ops_selected.add(batch.size());
       telemetry::combine_begin(batch.size());
       std::span<Op*> pending(batch);
@@ -103,9 +119,9 @@ class FcEngine {
           done->mark_done(Phase::UnderLock);
           stats_.record_completion(cls, Phase::UnderLock);
           if (done != &own) stats_.helped_ops.add();
-          (void)self;
         }
         pending = pending.subspan(k);
+        array_.publish_combined(k);
       }
       telemetry::combine_end(batch.size());
     }
@@ -120,8 +136,13 @@ class FcEngine {
     }
   }
 
+  // Per-thread selection arena, reserved once (no growth while combining).
   static std::vector<Op*>& scratch() {
-    thread_local std::vector<Op*> batch;
+    thread_local std::vector<Op*> batch = [] {
+      std::vector<Op*> v;
+      v.reserve(util::kMaxThreads);
+      return v;
+    }();
     return batch;
   }
 

@@ -26,6 +26,7 @@
 
 #include <atomic>
 #include <cassert>
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <string_view>
@@ -180,7 +181,7 @@ class HcfEngine {
     telemetry::phase_exit(static_cast<int>(Phase::Combining), done_combining);
     if (!done_combining) {
       telemetry::phase_enter(static_cast<int>(Phase::UnderLock));
-      combine_under_lock(op, ops_to_help);
+      combine_under_lock(op, pa, ops_to_help);
       telemetry::phase_exit(static_cast<int>(Phase::UnderLock), true);
     }
     // A combining session (if one started) is over once every selected op
@@ -288,11 +289,24 @@ class HcfEngine {
       // just wait for Done. Blocking unconditionally on the lock would make
       // every helped owner serialize through it only to discover it was
       // already helped, which caps the combining degree near 1.
-      util::SpinWait waiter;
+      //
+      // Waiter protocol (DESIGN.md §9.3): spin with bounded exponential
+      // pause, and watch the array's combined-count epoch — when a
+      // combining round retires a batch the epoch moves, and a waiter whose
+      // op was in that batch wakes on its next status check instead of
+      // re-polling the contended lock line.
+      util::ProportionalWait waiter;
+      std::uint64_t epoch = pa.combined_epoch();
       for (;;) {
         if (op.status() != OpStatus::Announced) {
           op.wait_done();
           return true;
+        }
+        const std::uint64_t now = pa.combined_epoch();
+        if (now != epoch) {
+          epoch = now;
+          waiter.reset();
+          continue;  // a batch just retired; re-check our status first
         }
         if (pa.selection_lock().try_lock()) break;
         waiter.wait();
@@ -309,6 +323,10 @@ class HcfEngine {
       choose_ops_to_help(op, pa, ops_to_help);
       pa.selection_lock().unlock();
       telemetry::sel_lock_released();
+      // Batch shaping happens after the selection lock is released: group
+      // by the adapter's combine key (so run_multi sees eliminable pairs
+      // adjacent) and pull the descriptors toward this core.
+      group_and_prefetch(op, ops_to_help);
       // Only announcing classes count as combining sessions — a TLE-like
       // class falling through to the lock is not a combiner (keeps the
       // Fig. 4 combining-degree metric meaningful).
@@ -333,7 +351,7 @@ class HcfEngine {
       if (committed) {
         assert(executed >= 1 && executed <= ops_to_help.size());
         stats_.combine_rounds.add();
-        retire_prefix(op, ops_to_help, executed, Phase::Combining);
+        retire_prefix(op, pa, ops_to_help, executed, Phase::Combining);
       } else {
         ++failures;
         stats_.record_attempt_failure(op.class_id());
@@ -347,7 +365,8 @@ class HcfEngine {
   }
 
   // ---- Phase 4 -------------------------------------------------------
-  void combine_under_lock(Op& op, std::vector<Op*>& ops_to_help) {
+  void combine_under_lock(Op& op, PubArray& pa,
+                          std::vector<Op*>& ops_to_help) {
     assert(!ops_to_help.empty());
     sync::LockGuard<Lock> guard(lock_);
     while (!ops_to_help.empty()) {
@@ -355,7 +374,7 @@ class HcfEngine {
           op.run_multi(ds_, std::span<Op*>(ops_to_help));
       assert(executed >= 1 && executed <= ops_to_help.size());
       stats_.combine_rounds.add();
-      retire_prefix(op, ops_to_help, executed, Phase::UnderLock);
+      retire_prefix(op, pa, ops_to_help, executed, Phase::UnderLock);
     }
   }
 
@@ -365,23 +384,36 @@ class HcfEngine {
   // selection lock; the caller's op is chosen unconditionally, every other
   // announced op is offered to should_help. Chosen ops transition to
   // BeingHelped (dooming their owners' speculation) and are unpublished.
+  // The gather target is the caller's preallocated per-thread arena, so
+  // nothing allocates while the selection lock is held.
   void choose_ops_to_help(Op& op, PubArray& pa,
                           std::vector<Op*>& ops_to_help) {
     op.mark_being_helped();
     pa.clear_slot(util::this_thread_id());
     ops_to_help.push_back(&op);
-    pa.for_each_announced([&](Op* candidate, std::size_t slot) {
-      if (candidate == &op) return;
-      if (candidate->status() != OpStatus::Announced) return;
-      if (!op.should_help(*candidate)) return;
-      candidate->mark_being_helped();
-      pa.clear_slot(slot);
-      ops_to_help.push_back(candidate);
-    });
+    const std::size_t words_skipped =
+        // scan-locked: try_combining acquired pa.selection_lock() above.
+        pa.collect_announced(ops_to_help, [&](Op* candidate) {
+          if (candidate == &op) return false;
+          if (candidate->status() != OpStatus::Announced) return false;
+          if (!op.should_help(*candidate)) return false;
+          candidate->mark_being_helped();
+          return true;
+        });
+    stats_.scan_words_skipped.add(words_skipped);
   }
 
-  void retire_prefix(Op& own, std::vector<Op*>& ops, std::size_t k,
-                     Phase phase) {
+  void group_and_prefetch(Op& op, std::vector<Op*>& ops_to_help) {
+    if (ops_to_help.size() > 1 && op.combine_keyed()) {
+      const std::size_t groups = group_batch(std::span<Op*>(ops_to_help));
+      stats_.batch_groups.add(groups);
+      stats_.batch_group_sizes.add(ops_to_help.size());
+    }
+    prefetch_batch(std::span<Op* const>(ops_to_help));
+  }
+
+  void retire_prefix(Op& own, PubArray& pa, std::vector<Op*>& ops,
+                     std::size_t k, Phase phase) {
     for (std::size_t i = 0; i < k; ++i) {
       Op* done = ops[i];
       const int cls = done->class_id();
@@ -390,6 +422,10 @@ class HcfEngine {
       if (done != &own) stats_.helped_ops.add();
     }
     ops.erase(ops.begin(), ops.begin() + static_cast<std::ptrdiff_t>(k));
+    // Wake helped owners' selection-lock competition in O(1): the epoch
+    // moves after the Done stores above, so a waiter observing it re-checks
+    // its own status before touching the lock.
+    pa.publish_combined(k);
   }
 
   void complete(Op& op, Phase phase) {
@@ -397,8 +433,15 @@ class HcfEngine {
     stats_.record_completion(op.class_id(), phase);
   }
 
+  // Per-thread selection arena, reserved to full capacity once: selection
+  // must never regrow a vector while the selection lock is held (the
+  // allocation was a hidden serialization point in the seed).
   static std::vector<Op*>& scratch() {
-    thread_local std::vector<Op*> ops;
+    thread_local std::vector<Op*> ops = [] {
+      std::vector<Op*> v;
+      v.reserve(util::kMaxThreads);
+      return v;
+    }();
     return ops;
   }
 

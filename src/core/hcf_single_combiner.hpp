@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cassert>
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <string_view>
@@ -147,10 +148,20 @@ class HcfSingleCombinerEngine {
     if (policy.announce) {
       // As in HcfEngine::try_combining: watch our own status while
       // competing for the selection lock, so owners helped by the active
-      // combiner return without ever acquiring it.
-      util::SpinWait waiter;
+      // combiner return without ever acquiring it. The combined-count
+      // epoch makes that wake-up O(1): when the active combiner retires a
+      // batch, waiters re-check their own status instead of re-polling the
+      // contended lock line (DESIGN.md §9.3).
+      util::ProportionalWait waiter;
+      std::uint64_t epoch = pa.combined_epoch();
       for (;;) {
         if (op.status() == OpStatus::Done) return;
+        const std::uint64_t now = pa.combined_epoch();
+        if (now != epoch) {
+          epoch = now;
+          waiter.reset();
+          continue;
+        }
         if (pa.selection_lock().try_lock()) break;
         waiter.wait();
       }
@@ -162,15 +173,25 @@ class HcfSingleCombinerEngine {
       }
       // Select. Slots are unpublished now (still under the selection lock),
       // so owners re-running TryVisible after we release cannot duplicate.
+      // Unlike HcfEngine there is no BeingHelped transition — holding the
+      // selection lock for the whole phase is what dooms the owners.
       pa.clear_slot(util::this_thread_id());
       ops_to_help.push_back(&op);
-      pa.for_each_announced([&](Op* candidate, std::size_t slot) {
-        if (candidate == &op) return;
-        if (candidate->status() != OpStatus::Announced) return;
-        if (!op.should_help(*candidate)) return;
-        pa.clear_slot(slot);
-        ops_to_help.push_back(candidate);
-      });
+      const std::size_t words_skipped =
+          // scan-locked: pa.selection_lock() acquired above, held throughout.
+          pa.collect_announced(ops_to_help, [&](Op* candidate) {
+            return candidate != &op &&
+                   candidate->status() == OpStatus::Announced &&
+                   op.should_help(*candidate);
+          });
+      stats_.scan_words_skipped.add(words_skipped);
+      if (ops_to_help.size() > 1 && op.combine_keyed()) {
+        const std::size_t groups =
+            group_batch(std::span<Op*>(ops_to_help));
+        stats_.batch_groups.add(groups);
+        stats_.batch_group_sizes.add(ops_to_help.size());
+      }
+      prefetch_batch(std::span<Op* const>(ops_to_help));
       stats_.combiner_sessions.add();
       stats_.ops_selected.add(ops_to_help.size());
       telemetry::combine_begin(ops_to_help.size());
@@ -190,7 +211,7 @@ class HcfSingleCombinerEngine {
       });
       if (committed) {
         stats_.combine_rounds.add();
-        retire_prefix(op, ops_to_help, executed, Phase::Combining);
+        retire_prefix(op, pa, ops_to_help, executed, Phase::Combining);
       } else {
         ++failures;
         if (htm::last_abort_code() == htm::AbortCode::Capacity) break;
@@ -207,7 +228,7 @@ class HcfSingleCombinerEngine {
         const std::size_t executed =
             op.run_multi(ds_, std::span<Op*>(ops_to_help));
         stats_.combine_rounds.add();
-        retire_prefix(op, ops_to_help, executed, Phase::UnderLock);
+        retire_prefix(op, pa, ops_to_help, executed, Phase::UnderLock);
       }
       telemetry::phase_exit(static_cast<int>(Phase::UnderLock), true);
     }
@@ -219,8 +240,8 @@ class HcfSingleCombinerEngine {
     }
   }
 
-  void retire_prefix(Op& own, std::vector<Op*>& ops, std::size_t k,
-                     Phase phase) {
+  void retire_prefix(Op& own, PubArray& pa, std::vector<Op*>& ops,
+                     std::size_t k, Phase phase) {
     assert(k >= 1 && k <= ops.size());
     for (std::size_t i = 0; i < k; ++i) {
       Op* done = ops[i];
@@ -230,6 +251,7 @@ class HcfSingleCombinerEngine {
       if (done != &own) stats_.helped_ops.add();
     }
     ops.erase(ops.begin(), ops.begin() + static_cast<std::ptrdiff_t>(k));
+    pa.publish_combined(k);
   }
 
   void complete(Op& op, Phase phase) {
@@ -237,8 +259,14 @@ class HcfSingleCombinerEngine {
     stats_.record_completion(op.class_id(), phase);
   }
 
+  // Per-thread selection arena, reserved once (no growth under the
+  // selection lock).
   static std::vector<Op*>& scratch() {
-    thread_local std::vector<Op*> ops;
+    thread_local std::vector<Op*> ops = [] {
+      std::vector<Op*> v;
+      v.reserve(util::kMaxThreads);
+      return v;
+    }();
     return ops;
   }
 

@@ -21,6 +21,7 @@
 // user code.
 #pragma once
 
+#include <algorithm>
 #include <cassert>
 #include <cstdint>
 #include <span>
@@ -28,6 +29,7 @@
 #include "core/types.hpp"
 #include "sim_htm/txcell.hpp"
 #include "util/backoff.hpp"
+#include "util/cacheline.hpp"
 
 namespace hcf::core {
 
@@ -57,6 +59,18 @@ class Operation {
     for (auto* op : ops) op->run_seq(ds);
     return ops.size();
   }
+
+  // Combiner-side batch grouping hint. When combine_keyed() is true, the
+  // engines sort a selected batch by ascending combine_key() *before*
+  // handing it to run_multi (group_batch below), so combinable and
+  // eliminable operations arrive adjacent and the adapter's internal
+  // sort/partition runs on already-ordered input — outside the hardware
+  // transaction instead of inside it. Purely a performance hint: run_multi
+  // must stay correct on ungrouped input (its contract already allows any
+  // permutation), and a stale or mismatched key mis-groups but never
+  // mis-executes.
+  virtual bool combine_keyed() const { return false; }
+  virtual std::uint64_t combine_key() const { return 0; }
 
   // ---- framework state ----
 
@@ -96,11 +110,13 @@ class Operation {
     status_.store_plain(static_cast<std::uint32_t>(OpStatus::Done));
   }
 
-  // Owner-side wait for a combiner to finish the operation.
-  // The paper's pseudo-code yields here ("while (Op.status ==
-  // BeingHelped) yield()"); SpinWait spins briefly then yields.
+  // Owner-side wait for a combiner to finish the operation. The owner
+  // spins locally on its own descriptor's status line with bounded
+  // exponential pause (the line is written exactly once more — at
+  // mark_done — so growing pauses trade wake-up latency for near-zero
+  // coherence traffic), then yields so oversubscribed runs make progress.
   void wait_done() const noexcept {
-    util::SpinWait waiter;
+    util::ProportionalWait waiter;
     while (status() != OpStatus::Done) waiter.wait();
   }
 
@@ -113,6 +129,40 @@ class Operation {
       static_cast<std::uint32_t>(OpStatus::UnAnnounced)};
   Phase completed_phase_ = Phase::Private;
 };
+
+// Sorts a selected batch by combine_key so run_multi receives ready-made
+// groups: equal-key (avl) or matching-kind (stack push/pop, pq
+// insert/remove-min) operations become adjacent, which is exactly the
+// layout the adapters' internal sort/partition would otherwise produce
+// inside the transaction. Engines call this after selection, outside both
+// the selection lock (where possible) and the hardware transaction.
+// Returns the number of distinct key groups (combining telemetry).
+template <typename DS>
+inline std::size_t group_batch(std::span<Operation<DS>*> ops) {
+  std::sort(ops.begin(), ops.end(),
+            [](const Operation<DS>* a, const Operation<DS>* b) {
+              return a->combine_key() < b->combine_key();
+            });
+  std::size_t groups = 0;
+  std::uint64_t prev_key = 0;
+  for (const Operation<DS>* op : ops) {
+    const std::uint64_t key = op->combine_key();
+    if (groups == 0 || key != prev_key) {
+      ++groups;
+      prev_key = key;
+    }
+  }
+  return groups;
+}
+
+// Prefetches the descriptors of a selected batch before application: the
+// combiner is about to read every op's arguments and write every op's
+// result slot, and selection just chased kMaxThreads-spread pointers whose
+// targets are unlikely to sit in the combiner's cache.
+template <typename DS>
+inline void prefetch_batch(std::span<Operation<DS>* const> ops) noexcept {
+  for (const Operation<DS>* op : ops) util::prefetch_ro(op);
+}
 
 // Mixin: a should_help that never helps (the framework's "apply only the
 // combiner's own operation" default variant).

@@ -3,17 +3,34 @@
 // which serializes combiners' selection scans.
 //
 // Concurrency protocol (all verified against DESIGN.md's race analysis):
-//   * add    — owner publishes its descriptor in its own slot (strong store).
+//   * add    — owner publishes its descriptor in its own slot (strong store),
+//     then sets the slot's occupancy bit (release, so a scanner that sees
+//     the bit sees the slot).
 //   * remove_tx — owner clears its slot *inside* the transaction that
 //     applied the op, so the removal commits atomically with the effect.
+//     The occupancy bit is intentionally left STALE (a transactional
+//     write cannot carry a non-transactional bit clear); scans re-verify
+//     every hinted slot, so a stale bit costs one extra load, never a
+//     wrong selection. See DESIGN.md §9.1 for the staleness argument.
 //   * clear_slot — a combiner, holding the selection lock, removes a slot
-//     it has selected.
+//     it has selected (and clears its occupancy bit).
 //   * for_each_announced — combiner scan; requires the selection lock.
 //     Scans need no consistent snapshot: slots can be added concurrently
-//     but never removed while the selection lock is held.
+//     but never removed while the selection lock is held. The scan walks
+//     the occupancy summary words and visits only hinted slots, so its
+//     cost is proportional to announced work, not configured capacity.
+//
+// The occupancy words and the combined-count epoch are raw atomics rather
+// than TxCells: they are combiner-/waiter-side hints, never read inside a
+// transaction, and never part of any correctness argument — re-verification
+// (occupancy) and status re-checks (epoch) absorb all staleness.
 #pragma once
 
+#include <atomic>
+#include <bit>
 #include <cstddef>
+#include <cstdint>
+#include <vector>
 
 #include "core/operation.hpp"
 #include "sim_htm/txcell.hpp"
@@ -28,14 +45,28 @@ class PublicationArray {
  public:
   using Op = Operation<DS>;
 
+  // One occupancy summary word per 64 slots.
+  static constexpr std::size_t kOccupancyWords =
+      (util::kMaxThreads + 63) / 64;
+
   PublicationArray() = default;
   PublicationArray(const PublicationArray&) = delete;
   PublicationArray& operator=(const PublicationArray&) = delete;
 
-  // Owner-side announce into the calling thread's slot.
-  void add(Op* op) noexcept { slot_for_current().store(op); }
+  // Owner-side announce into the calling thread's slot. The slot store
+  // precedes the occupancy fetch_or (release): a scanner observing the bit
+  // is guaranteed to observe the descriptor. The converse window (slot
+  // visible, bit not yet) only delays selection by one scan — the owner's
+  // own phases never depend on being scanned.
+  void add(Op* op) noexcept {
+    const std::size_t slot = util::this_thread_id();
+    slots_[slot].value.store(op);
+    occupancy_[slot >> 6].value.fetch_or(slot_bit(slot),
+                                         std::memory_order_release);
+  }
 
   // Owner-side transactional removal (buffered; commits with the op).
+  // Leaves the occupancy bit stale on purpose — see the header comment.
   void remove_tx(Op* op) {
     auto& cell = slot_for_current();
     assert(cell.read() == op && "removing an operation we did not announce");
@@ -45,25 +76,85 @@ class PublicationArray {
 
   // Owner-side non-transactional removal (single-combiner variant, where
   // the owner removes its slot after being helped).
-  void remove_strong() noexcept { slot_for_current().store(nullptr); }
+  void remove_strong() noexcept {
+    const std::size_t slot = util::this_thread_id();
+    slots_[slot].value.store(nullptr);
+    clear_bit(slot);
+  }
 
   // Combiner-side removal of any slot; caller must hold the selection lock.
   void clear_slot(std::size_t slot) noexcept {
     slots_[slot].value.store(nullptr);
+    clear_bit(slot);
   }
 
   // Combiner-side scan; caller must hold the selection lock. Calls
-  // f(op, slot_index) for every non-empty slot.
+  // f(op, slot_index) for every non-empty hinted slot; empty hinted slots
+  // (stale bits from remove_tx) are skipped after re-verification.
+  // Returns the number of occupancy words skipped because no slot in them
+  // was hinted (the scan-cost signal behind EngineStats::scan_words_skipped).
   template <typename F>
-  void for_each_announced(F&& f) {
-    for (std::size_t i = 0; i < util::kMaxThreads; ++i) {
-      if (Op* op = slots_[i].value.load()) f(op, i);
+  std::size_t for_each_announced(F&& f) {
+    std::size_t words_skipped = 0;
+    for (std::size_t w = 0; w < kOccupancyWords; ++w) {
+      std::uint64_t word =
+          occupancy_[w].value.load(std::memory_order_acquire);
+      if (word == 0) {
+        ++words_skipped;
+        continue;
+      }
+      while (word != 0) {
+        const std::size_t slot =
+            (w << 6) + static_cast<std::size_t>(std::countr_zero(word));
+        word &= word - 1;
+        if (Op* op = slots_[slot].value.load()) f(op, slot);
+      }
     }
+    return words_skipped;
+  }
+
+  // Shared combiner selection loop (the one scan helper all four combining
+  // engines build on): offers every announced descriptor to `select`; when
+  // it returns true the slot is cleared and the op appended to `out`.
+  // `select` runs *before* the slot clear, so it may perform the status
+  // transition (mark_being_helped) that dooms the owner's speculation.
+  // Caller must hold the selection lock (or, for FC-style engines, the
+  // data-structure lock that plays its role) and must have pre-reserved
+  // `out` — selection must not allocate.
+  // Returns the number of occupancy words the scan skipped.
+  template <typename Select>
+  std::size_t collect_announced(std::vector<Op*>& out, Select&& select) {
+    // scan-locked: precondition documented above; enforced at call sites.
+    return for_each_announced([&](Op* op, std::size_t slot) {
+      if (select(op)) {
+        clear_slot(slot);
+        out.push_back(op);
+      }
+    });
   }
 
   // Non-owning peek (tests / stats).
   Op* peek(std::size_t slot) const noexcept {
     return slots_[slot].value.load();
+  }
+
+  // Raw occupancy summary word (tests / benches).
+  std::uint64_t occupancy_word(std::size_t w) const noexcept {
+    return occupancy_[w].value.load(std::memory_order_acquire);
+  }
+
+  // ---- combined-count epoch (waiter protocol, DESIGN.md §9.3) ----------
+  // A combiner publishes how many operations it just retired; threads
+  // competing for the selection lock watch the epoch and re-check their own
+  // op's status when it moves, waking in O(1) after being helped instead of
+  // re-polling the contended lock line.
+
+  std::uint64_t combined_epoch() const noexcept {
+    return combined_epoch_.value.load(std::memory_order_acquire);
+  }
+
+  void publish_combined(std::size_t retired) noexcept {
+    combined_epoch_.value.fetch_add(retired, std::memory_order_release);
   }
 
   SelectionLock& selection_lock() noexcept { return selection_lock_; }
@@ -76,7 +167,24 @@ class PublicationArray {
     return slots_[util::this_thread_id()].value;
   }
 
+  static constexpr std::uint64_t slot_bit(std::size_t slot) noexcept {
+    return std::uint64_t{1} << (slot & 63);
+  }
+
+  // Relaxed is enough for clears: a scanner that misses the bit skips a
+  // slot whose op already completed (or was just selected by us, the
+  // lock holder) — both are benign under re-verification.
+  void clear_bit(std::size_t slot) noexcept {
+    occupancy_[slot >> 6].value.fetch_and(~slot_bit(slot),
+                                          std::memory_order_relaxed);
+  }
+
   util::CacheAligned<htm::TxCell<Op*>> slots_[util::kMaxThreads];
+  // Occupancy hint words; see header comment for why these are raw atomics.
+  util::CacheAligned<std::atomic<std::uint64_t>>  // lint:allow(raw-atomic-in-core)
+      occupancy_[kOccupancyWords];
+  util::CacheAligned<std::atomic<std::uint64_t>>  // lint:allow(raw-atomic-in-core)
+      combined_epoch_;
   SelectionLock selection_lock_;
 };
 

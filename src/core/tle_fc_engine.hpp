@@ -10,6 +10,8 @@
 // speculating rather than announcing.
 #pragma once
 
+#include <cstdint>
+#include <span>
 #include <string_view>
 #include <vector>
 
@@ -64,11 +66,19 @@ class TleFcEngine {
     telemetry::phase_enter(static_cast<int>(Phase::Visible));
     op.mark_announced();
     array_.add(&op);
-    util::SpinWait waiter;
+    // Waiter protocol (DESIGN.md §9.3), as in FcEngine.
+    util::ProportionalWait waiter;
+    std::uint64_t epoch = array_.combined_epoch();
     for (;;) {
       if (op.status() == OpStatus::Done) {
         telemetry::phase_exit(static_cast<int>(Phase::Visible), true);
         return op.completed_phase();
+      }
+      const std::uint64_t now = array_.combined_epoch();
+      if (now != epoch) {
+        epoch = now;
+        waiter.reset();
+        continue;
       }
       if (lock_.try_lock()) {
         telemetry::phase_exit(static_cast<int>(Phase::Visible), false);
@@ -100,12 +110,17 @@ class TleFcEngine {
     stats_.combiner_sessions.add();
     std::vector<Op*>& batch = scratch();
     batch.clear();
-    array_.for_each_announced([&](Op* op, std::size_t slot) {
-      if (op->status() == OpStatus::Announced) {
-        array_.clear_slot(slot);
-        batch.push_back(op);
-      }
-    });
+    // scan-locked: execute() won the data-structure lock, which doubles as
+    // the selection lock in the FC phase of TLE+FC.
+    const std::size_t words_skipped = array_.collect_announced(
+        batch, [](Op* op) { return op->status() == OpStatus::Announced; });
+    stats_.scan_words_skipped.add(words_skipped);
+    if (batch.size() > 1 && own.combine_keyed()) {
+      const std::size_t groups = group_batch(std::span<Op*>(batch));
+      stats_.batch_groups.add(groups);
+      stats_.batch_group_sizes.add(batch.size());
+    }
+    prefetch_batch(std::span<Op* const>(batch));
     stats_.ops_selected.add(batch.size());
     telemetry::combine_begin(batch.size());
     std::span<Op*> pending(batch);
@@ -121,6 +136,7 @@ class TleFcEngine {
         if (done != &own) stats_.helped_ops.add();
       }
       pending = pending.subspan(k);
+      array_.publish_combined(k);
     }
     if (own.status() != OpStatus::Done) {
       array_.remove_strong();

@@ -51,6 +51,33 @@ class SpinWait {
   std::uint32_t spins_ = 0;
 };
 
+// Waiter-side local spinning with bounded exponential pause: each wait
+// spins for the current pause length and doubles it up to a cap, then
+// switches to yielding. Unlike ExpBackoff this carries no RNG — waiters
+// watch a line written exactly once (their own op's status, a combined
+// epoch), so there is no convoy to de-synchronize; the growing pause just
+// bounds how often the watched line is re-read while keeping short waits
+// near-instant. Used by Operation::wait_done and the engines'
+// selection-lock competition loops.
+class ProportionalWait {
+ public:
+  void wait() noexcept {
+    if (pause_ <= kMaxPause) {
+      spin_for(pause_);
+      pause_ <<= 1;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+
+  void reset() noexcept { pause_ = kMinPause; }
+
+ private:
+  static constexpr std::uint64_t kMinPause = 4;
+  static constexpr std::uint64_t kMaxPause = 256;
+  std::uint64_t pause_ = kMinPause;
+};
+
 class ExpBackoff {
  public:
   explicit ExpBackoff(std::uint64_t seed = 0x9e3779b97f4a7c15ULL,

@@ -31,4 +31,14 @@ struct alignas(kCacheLineSize) CacheAligned {
 static_assert(alignof(CacheAligned<int>) == kCacheLineSize);
 static_assert(sizeof(CacheAligned<int>) == kCacheLineSize);
 
+// Read-only prefetch hint (no-op where unsupported). Used by combiners to
+// pull selected operation descriptors toward the core before applying them.
+inline void prefetch_ro(const void* p) noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, /*rw=*/0, /*locality=*/3);
+#else
+  (void)p;
+#endif
+}
+
 }  // namespace hcf::util

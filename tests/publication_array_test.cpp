@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
+#include <cstdint>
+#include <memory>
+#include <set>
 #include <thread>
 #include <vector>
 
@@ -104,6 +108,149 @@ TEST(PublicationArray, SelectionLockSubscriptionAborts) {
   EXPECT_FALSE(htm::attempt([&] { pa.selection_lock().subscribe(); }));
   pa.selection_lock().unlock();
   EXPECT_TRUE(htm::attempt([&] { pa.selection_lock().subscribe(); }));
+}
+
+// ---- occupancy-indexed scanning (DESIGN.md §9.1) --------------------------
+
+TEST(PublicationArrayOccupancy, EmptyScanSkipsEveryWord) {
+  PublicationArray<NullDs> pa;
+  pa.selection_lock().lock();
+  std::size_t visited = 0;
+  const std::size_t skipped =
+      pa.for_each_announced([&](Operation<NullDs>*, std::size_t) { ++visited; });
+  pa.selection_lock().unlock();
+  EXPECT_EQ(visited, 0u);
+  EXPECT_EQ(skipped, PublicationArray<NullDs>::kOccupancyWords);
+}
+
+// A full-capacity array scan must visit exactly the announced slots — no
+// phantom visits from stale metadata, no missed announcements — and must
+// skip every occupancy word with no announced slot in it.
+TEST(PublicationArrayOccupancy, ScanVisitsExactlyAnnouncedSlots) {
+  PublicationArray<NullDs> pa;
+  constexpr int kThreads = 5;
+  std::vector<std::unique_ptr<NoopOp>> ops;
+  for (int i = 0; i < kThreads; ++i) ops.push_back(std::make_unique<NoopOp>());
+
+  std::array<std::size_t, kThreads> announced_slot{};
+  std::atomic<int> announced{0};
+  std::atomic<bool> release{false};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      announced_slot[static_cast<std::size_t>(i)] = util::this_thread_id();
+      pa.add(ops[i].get());
+      announced.fetch_add(1);
+      while (!release.load()) std::this_thread::yield();
+      pa.remove_strong();
+    });
+  }
+  while (announced.load() != kThreads) std::this_thread::yield();
+
+  std::set<std::size_t> expected(announced_slot.begin(), announced_slot.end());
+  std::set<std::size_t> expected_words;
+  for (std::size_t slot : expected) expected_words.insert(slot >> 6);
+
+  pa.selection_lock().lock();
+  std::set<std::size_t> visited;
+  const std::size_t skipped = pa.for_each_announced(
+      [&](Operation<NullDs>* op, std::size_t slot) {
+        EXPECT_NE(op, nullptr);
+        EXPECT_TRUE(visited.insert(slot).second) << "slot visited twice";
+      });
+  pa.selection_lock().unlock();
+
+  EXPECT_EQ(visited, expected);
+  EXPECT_EQ(skipped, PublicationArray<NullDs>::kOccupancyWords -
+                         expected_words.size());
+
+  release = true;
+  for (auto& t : threads) t.join();
+}
+
+// remove_tx leaves the occupancy bit stale by design; the scan re-verifies
+// the slot and must neither visit the removed op nor skip the word.
+TEST(PublicationArrayOccupancy, StaleBitFromTxRemoveIsReverifiedAway) {
+  PublicationArray<NullDs> pa;
+  NoopOp op;
+  const std::size_t self = util::this_thread_id();
+  pa.add(&op);
+  ASSERT_TRUE(htm::attempt([&] { pa.remove_tx(&op); }));
+  ASSERT_EQ(pa.peek(self), nullptr);
+  // The hint is stale: bit still set for an empty slot.
+  EXPECT_NE(pa.occupancy_word(self >> 6) & (std::uint64_t{1} << (self & 63)),
+            0u);
+
+  pa.selection_lock().lock();
+  std::size_t visited = 0;
+  std::size_t skipped =
+      pa.for_each_announced([&](Operation<NullDs>*, std::size_t) { ++visited; });
+  pa.selection_lock().unlock();
+  EXPECT_EQ(visited, 0u);  // stale bit never yields a phantom op
+  EXPECT_EQ(skipped, PublicationArray<NullDs>::kOccupancyWords - 1);
+
+  // Re-announcing reuses the slot; the op must be seen exactly once.
+  pa.add(&op);
+  pa.selection_lock().lock();
+  visited = 0;
+  pa.for_each_announced([&](Operation<NullDs>* seen, std::size_t slot) {
+    EXPECT_EQ(seen, &op);
+    EXPECT_EQ(slot, self);
+    ++visited;
+  });
+  pa.selection_lock().unlock();
+  EXPECT_EQ(visited, 1u);
+  pa.remove_strong();
+}
+
+TEST(PublicationArrayOccupancy, ClearSlotClearsBit) {
+  PublicationArray<NullDs> pa;
+  NoopOp op;
+  const std::size_t self = util::this_thread_id();
+  pa.add(&op);
+  ASSERT_NE(pa.occupancy_word(self >> 6), 0u);
+  pa.selection_lock().lock();
+  pa.clear_slot(self);
+  pa.selection_lock().unlock();
+  EXPECT_EQ(pa.occupancy_word(self >> 6) & (std::uint64_t{1} << (self & 63)),
+            0u);
+}
+
+TEST(PublicationArrayOccupancy, CollectAnnouncedSelectsAndUnpublishes) {
+  PublicationArray<NullDs> pa;
+  NoopOp op;
+  op.prepare();
+  op.mark_announced();
+  pa.add(&op);
+
+  std::vector<Operation<NullDs>*> out;
+  out.reserve(util::kMaxThreads);
+  pa.selection_lock().lock();
+  // scan-locked: selection lock acquired on the line above.
+  pa.collect_announced(
+      out, [](Operation<NullDs>* o) { return o->status() == OpStatus::Announced; });
+  pa.selection_lock().unlock();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], &op);
+  EXPECT_EQ(pa.peek(util::this_thread_id()), nullptr);
+
+  out.clear();
+  pa.selection_lock().lock();
+  // scan-locked: selection lock acquired on the line above.
+  const std::size_t skipped = pa.collect_announced(
+      out, [](Operation<NullDs>*) { return true; });
+  pa.selection_lock().unlock();
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(skipped, PublicationArray<NullDs>::kOccupancyWords);
+}
+
+TEST(PublicationArrayEpoch, PublishAdvancesMonotonically) {
+  PublicationArray<NullDs> pa;
+  EXPECT_EQ(pa.combined_epoch(), 0u);
+  pa.publish_combined(3);
+  EXPECT_EQ(pa.combined_epoch(), 3u);
+  pa.publish_combined(2);
+  EXPECT_EQ(pa.combined_epoch(), 5u);
 }
 
 TEST(OperationDescriptor, StatusLifecycle) {

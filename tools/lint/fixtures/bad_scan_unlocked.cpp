@@ -1,0 +1,33 @@
+// lint:zone(core)
+// Known-bad: publication-array scans with no visible serialization — no
+// '// scan-locked:' marker and no selection-lock acquisition anywhere near
+// the call. An unlocked scan races clear_slot against concurrent combiners.
+
+template <typename PA, typename F>
+void unjustified_scan(PA& pa, F f) {
+  pa.for_each_announced(f);  // expect-lint: scan-requires-selection-lock
+}
+
+template <typename PA, typename Out, typename F>
+void unjustified_collect(PA& pa, Out& out, F f) {
+  // A plain explanatory comment is not a justification marker.
+  pa.collect_announced(out, f);  // expect-lint: scan-requires-selection-lock
+}
+
+template <typename PA, typename F>
+void lock_outside_window(PA& pa, F f) {
+  pa.selection_lock().lock();
+  f(1);
+  f(2);
+  f(3);
+  f(4);
+  f(5);
+  f(6);
+  f(7);
+  f(8);
+  f(9);
+  f(10);
+  f(11);
+  pa.for_each_announced(f);  // expect-lint: scan-requires-selection-lock
+  pa.selection_lock().unlock();
+}

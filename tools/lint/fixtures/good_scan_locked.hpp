@@ -1,0 +1,39 @@
+#pragma once
+// lint:zone(core)
+// Good: every publication-array scan is visibly serialized — by a
+// '// scan-locked:' marker on the same line or in the comment block
+// directly above, or by a selection-lock acquisition (lock/try_lock or a
+// LockGuard) within the preceding lines.
+
+template <typename PA, typename F>
+void marker_same_line(PA& pa, F f) {
+  pa.for_each_announced(f);  // scan-locked: caller holds pa.selection_lock()
+}
+
+template <typename PA, typename Out, typename F>
+void marker_block_above(PA& pa, Out& out, F f) {
+  // scan-locked: the combiner acquired pa.selection_lock() before calling
+  // this helper and holds it for the whole selection phase.
+  pa.collect_announced(out, f);
+}
+
+template <typename PA, typename F>
+void lock_in_window(PA& pa, F f) {
+  pa.selection_lock().lock();
+  pa.for_each_announced(f);
+  pa.selection_lock().unlock();
+}
+
+template <typename PA, typename Out, typename F>
+void try_lock_in_window(PA& pa, Out& out, F f) {
+  if (pa.selection_lock().try_lock()) {
+    pa.collect_announced(out, f);
+    pa.selection_lock().unlock();
+  }
+}
+
+template <typename PA, typename Lock, typename F>
+void guard_in_window(PA& pa, Lock& lock, F f) {
+  sync::LockGuard<Lock> guard(lock);
+  pa.for_each_announced(f);
+}

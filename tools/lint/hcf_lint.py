@@ -38,6 +38,16 @@ compiler dependency, by design):
                          the same line or in the comment block directly
                          above — the substrate runs on acquire/release,
                          and each seq_cst is a proof obligation
+  scan-requires-selection-lock
+                         publication-array scans (.for_each_announced /
+                         .collect_announced calls) in src/ and tests/ must
+                         be visibly serialized: either a '// scan-locked:'
+                         comment (same line or comment block directly
+                         above) naming the lock that protects the scan, or
+                         a selection-lock acquisition (selection_lock()
+                         .lock()/.try_lock() or a LockGuard) within the 10
+                         preceding lines — an unlocked scan races
+                         clear_slot against concurrent combiners
 
 Suppressions (for deliberate violations, e.g. negative tests):
   // lint:allow(rule-id)       — suppress rule-id on this line
@@ -109,6 +119,15 @@ SUBSCRIBE_RE = re.compile(r"\bsubscribe\s*\(\s*\)")
 
 SEQ_CST_RE = re.compile(r"\bmemory_order_seq_cst\b")
 SEQ_CST_JUSTIFICATION_RE = re.compile(r"//\s*seq_cst:")
+
+# Member calls only (pa.for_each_announced(...)): the unqualified uses
+# inside PublicationArray itself document their precondition in place.
+SCAN_CALL_RE = re.compile(
+    r"(?:\.|->)\s*(?:for_each_announced|collect_announced)\s*\(")
+SCAN_LOCKED_RE = re.compile(r"//\s*scan-locked:")
+SCAN_LOCK_ACQ_RE = re.compile(
+    r"selection_lock\s*\(\s*\)\s*\.\s*(?:try_)?lock\s*\(|\bLockGuard\b")
+SCAN_LOCK_WINDOW = 10  # raw lines above the call searched for an acquisition
 COMMENT_LINE_RE = re.compile(r"^\s*//")
 
 TELEMETRY_CALL_RE = re.compile(r"\btelemetry::\w+\s*\(")
@@ -313,14 +332,38 @@ class FileLinter:
     def seq_cst_justified(self, line: int) -> bool:
         """True if raw line `line` (1-based) carries a '// seq_cst:' marker
         or sits directly under a comment block containing one."""
-        if SEQ_CST_JUSTIFICATION_RE.search(self.raw_lines[line - 1]):
+        return self.marker_adjacent(line, SEQ_CST_JUSTIFICATION_RE)
+
+    def marker_adjacent(self, line: int, rx) -> bool:
+        """True if raw line `line` (1-based) matches `rx` or sits directly
+        under a comment block with a matching line."""
+        if rx.search(self.raw_lines[line - 1]):
             return True
         i = line - 1  # 0-based index of the line above
         while i >= 1 and COMMENT_LINE_RE.match(self.raw_lines[i - 1]):
-            if SEQ_CST_JUSTIFICATION_RE.search(self.raw_lines[i - 1]):
+            if rx.search(self.raw_lines[i - 1]):
                 return True
             i -= 1
         return False
+
+    def check_scan_requires_selection_lock(self) -> None:
+        if self.zone not in ("core", "src", "tests"):
+            return
+        for m in SCAN_CALL_RE.finditer(self.stripped):
+            line = self.line_of(m.start())
+            if self.marker_adjacent(line, SCAN_LOCKED_RE):
+                continue
+            lo = max(0, line - 1 - SCAN_LOCK_WINDOW)
+            window = self.raw_lines[lo:line - 1]
+            if any(SCAN_LOCK_ACQ_RE.search(l) for l in window):
+                continue
+            self.report(
+                line, "scan-requires-selection-lock",
+                "publication-array scan with no visible serialization; "
+                "acquire the selection lock nearby or add a "
+                "'// scan-locked:' comment naming the lock that makes "
+                "this scan safe (unlocked scans race clear_slot against "
+                "concurrent combiners)")
 
     def tx_bodies(self):
         """Yield (start_offset, end_offset) of every htm::attempt lambda
@@ -407,6 +450,7 @@ class FileLinter:
         self.check_raw_atomic_in_core()
         self.check_raw_atomic_in_telemetry()
         self.check_seq_cst_justification()
+        self.check_scan_requires_selection_lock()
         self.check_tx_bodies()
         return self.diags
 

@@ -40,11 +40,12 @@ TABLE_BENCHES = [
     "ablation_trials",
     "ablation_adaptive",
 ]
-SUBSTRATE_BENCHES = ["micro_substrate"]
+SUBSTRATE_BENCHES = ["micro_substrate", "micro_engine"]
 
 # The quick profile keeps total runtime around a minute on one core: a
 # subset of benches, two thread counts, and short measurement windows.
-QUICK_BENCHES = ["fig2_hash_table", "fig4_combining_stats", "micro_substrate"]
+QUICK_BENCHES = ["fig2_hash_table", "fig4_combining_stats", "micro_substrate",
+                 "micro_engine"]
 QUICK_ARGS = ["--threads=1,2", "--duration-ms=50", "--warmup-ms=10"]
 QUICK_WORKLOAD = {"fig2_hash_table": "40f"}
 
