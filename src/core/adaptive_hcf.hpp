@@ -4,9 +4,12 @@
 // better fit the given workload. ... calling for an adaptive runtime
 // mechanism to tune the HCF performance."
 //
-// This engine wraps HcfEngine with a feedback controller. Every adaptation
-// window (kWindow operations), one thread inspects the per-class phase
-// histogram and retunes that class's trial budgets:
+// This engine wraps a phase-machine engine with a feedback controller.
+// The controller targets the unified policy surface (PolicyConfigurable in
+// core/phase_exec.hpp) — num_classes / class_config / set_class_policy —
+// so any engine exposing it can be adapted; HcfEngine is the default.
+// Every adaptation window (kWindow operations), one thread inspects the
+// per-class phase histogram and retunes that class's trial budgets:
 //
 //   * mostly TryPrivate completions  -> speculate more  (TLE-leaning)
 //   * mostly combining / under lock  -> announce early  (FC-leaning)
@@ -41,11 +44,12 @@ struct AdaptiveOptions {
 };
 
 template <typename DS, sync::ElidableLock Lock = sync::TxLock,
-          sync::ElidableLock SelectionLock = sync::TxLock>
+          sync::ElidableLock SelectionLock = sync::TxLock,
+          PolicyConfigurable InnerEngine = HcfEngine<DS, Lock, SelectionLock>>
 class AdaptiveHcfEngine {
  public:
   using Op = Operation<DS>;
-  using Inner = HcfEngine<DS, Lock, SelectionLock>;
+  using Inner = InnerEngine;
 
   AdaptiveHcfEngine(DS& ds, std::vector<ClassConfig> classes,
                     std::size_t num_arrays = 1, AdaptiveOptions options = {})

@@ -15,7 +15,7 @@
 
 #include "core/engine_stats.hpp"
 #include "core/operation.hpp"
-#include "core/tle_engine.hpp"
+#include "core/phase_exec.hpp"
 #include "mem/ebr.hpp"
 #include "sim_htm/htm.hpp"
 #include "sync/spinlock.hpp"
@@ -49,7 +49,8 @@ class CoreLockEngine {
     // Telemetry hooks between attempts, outside htm::attempt bodies; the
     // core-lock retries count toward the private phase like SCM's aux phase.
     telemetry::phase_enter(static_cast<int>(Phase::Private));
-    util::ExpBackoff backoff(0xc07e + util::this_thread_id());
+    util::ExpBackoff backoff(
+        util::backoff_seed(util::BackoffSite::kCoreLockMain));
     for (int attempt = 0; attempt < budget_; ++attempt) {
       lock_.wait_until_free();
       const bool committed = htm::attempt([&] {
@@ -108,7 +109,8 @@ class CoreLockEngine {
         core_locks_[util::this_thread_id() % num_cores_].value;
     core_lock.lock();
     core_acquisitions_.add();
-    util::ExpBackoff backoff(0xc07f + util::this_thread_id());
+    util::ExpBackoff backoff(
+        util::backoff_seed(util::BackoffSite::kCoreLockAux));
     bool done = false;
     for (int attempt = 0; attempt < core_budget_; ++attempt) {
       lock_.wait_until_free();

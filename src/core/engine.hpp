@@ -6,6 +6,7 @@
 #include <string_view>
 
 #include "core/adaptive_hcf.hpp"
+#include "core/combine_core.hpp"
 #include "core/core_lock_engine.hpp"
 #include "core/engine_stats.hpp"
 #include "core/fc_engine.hpp"
@@ -13,6 +14,7 @@
 #include "core/hcf_single_combiner.hpp"
 #include "core/lock_engine.hpp"
 #include "core/operation.hpp"
+#include "core/phase_exec.hpp"
 #include "core/scm_engine.hpp"
 #include "core/tle_engine.hpp"
 #include "core/tle_fc_engine.hpp"

@@ -5,152 +5,41 @@
 // combining/elimination applies — while the losers spin on their status.
 //
 // No HTM is used anywhere; all work happens under the single global lock.
+// Expressed on the shared phase machine: CombinerMode::UnderGlobalLock
+// with an fc_like policy (zero HTM budgets everywhere, announce on), so
+// the whole execution is the announce/wait/combine-under-lock path of
+// core/phase_exec.hpp + core/combine_core.hpp. The per-class policy and
+// SelectionLock surface come with the shared core: classes with private
+// budgets speculate first, never-announcing classes degrade to Lock.
 #pragma once
 
-#include <cstdint>
-#include <span>
 #include <string_view>
 #include <vector>
 
-#include "core/engine_stats.hpp"
-#include "core/operation.hpp"
-#include "core/publication_array.hpp"
-#include "mem/ebr.hpp"
-#include "sync/tx_lock.hpp"
-#include "telemetry/telemetry.hpp"
-#include "util/backoff.hpp"
-#include "util/thread_id.hpp"
+#include "core/phase_exec.hpp"
 
 namespace hcf::core {
 
-template <typename DS, sync::ElidableLock Lock = sync::TxLock>
-class FcEngine {
- public:
-  using Op = Operation<DS>;
+template <typename DS, sync::ElidableLock Lock = sync::TxLock,
+          sync::ElidableLock SelectionLock = sync::TxLock>
+class FcEngine
+    : public PhaseMachine<DS, EnginePolicy<CombinerMode::UnderGlobalLock>,
+                          Lock, SelectionLock> {
+  using Base = PhaseMachine<DS, EnginePolicy<CombinerMode::UnderGlobalLock>,
+                            Lock, SelectionLock>;
 
+ public:
   // `scan_rounds`: how many times the combiner rescans the publication
   // array before releasing the lock (classic FC performs several passes to
   // pick up late arrivals).
-  explicit FcEngine(DS& ds, int scan_rounds = 2) noexcept
-      : ds_(ds), scan_rounds_(scan_rounds) {}
+  explicit FcEngine(DS& ds, int scan_rounds = 2)
+      : Base(ds, uniform_classes(PhasePolicy::fc_like()), 1, scan_rounds) {}
+
+  FcEngine(DS& ds, std::vector<ClassConfig> classes,
+           std::size_t num_arrays = 1, int scan_rounds = 2)
+      : Base(ds, std::move(classes), num_arrays, scan_rounds) {}
 
   static std::string_view name() noexcept { return "FC"; }
-
-  Phase execute(Op& op) {
-    mem::Guard ebr;
-    op.prepare();
-    op.mark_announced();
-    array_.add(&op);
-    telemetry::phase_enter(static_cast<int>(Phase::Visible));
-
-    // Waiter protocol (DESIGN.md §9.3): bounded exponential pause on our
-    // own status line; when the combiner's epoch moves a batch just
-    // retired, so re-check status before re-polling the lock line.
-    util::ProportionalWait waiter;
-    std::uint64_t epoch = array_.combined_epoch();
-    for (;;) {
-      if (op.status() == OpStatus::Done) {
-        telemetry::phase_exit(static_cast<int>(Phase::Visible), true);
-        return op.completed_phase();
-      }
-      const std::uint64_t now = array_.combined_epoch();
-      if (now != epoch) {
-        epoch = now;
-        waiter.reset();
-        continue;
-      }
-      if (lock_.try_lock()) {
-        telemetry::phase_exit(static_cast<int>(Phase::Visible), false);
-        telemetry::phase_enter(static_cast<int>(Phase::UnderLock));
-        combine(op);
-        lock_.unlock();
-        telemetry::phase_exit(static_cast<int>(Phase::UnderLock), true);
-        // The combiner always executes its own announced operation.
-        assert(op.status() == OpStatus::Done);
-        return op.completed_phase();
-      }
-      waiter.wait();
-    }
-  }
-
-  EngineStats& stats() noexcept { return stats_; }
-  std::uint64_t lock_acquisitions() const noexcept {
-    return lock_.acquisition_count();
-  }
-  void reset_stats() noexcept {
-    stats_.reset();
-    lock_.reset_stats();
-  }
-
-  DS& data() noexcept { return ds_; }
-  Lock& lock() noexcept { return lock_; }
-
- private:
-  void combine(Op& own) {
-    stats_.combiner_sessions.add();
-    std::vector<Op*>& batch = scratch();
-    for (int round = 0; round < scan_rounds_; ++round) {
-      batch.clear();
-      // scan-locked: execute() won the data-structure lock, which is FC's
-      // selection lock — no other combiner can scan concurrently.
-      const std::size_t words_skipped = array_.collect_announced(
-          batch, [](Op* op) { return op->status() == OpStatus::Announced; });
-      stats_.scan_words_skipped.add(words_skipped);
-      if (batch.empty()) {
-        if (own.status() == OpStatus::Done) return;
-        continue;
-      }
-      if (batch.size() > 1 && own.combine_keyed()) {
-        const std::size_t groups = group_batch(std::span<Op*>(batch));
-        stats_.batch_groups.add(groups);
-        stats_.batch_group_sizes.add(batch.size());
-      }
-      prefetch_batch(std::span<Op* const>(batch));
-      stats_.ops_selected.add(batch.size());
-      telemetry::combine_begin(batch.size());
-      std::span<Op*> pending(batch);
-      while (!pending.empty()) {
-        stats_.combine_rounds.add();
-        const std::size_t k = own.run_multi(ds_, pending);
-        assert(k >= 1 && k <= pending.size());
-        for (std::size_t i = 0; i < k; ++i) {
-          Op* done = pending[i];
-          const int cls = done->class_id();
-          done->mark_done(Phase::UnderLock);
-          stats_.record_completion(cls, Phase::UnderLock);
-          if (done != &own) stats_.helped_ops.add();
-        }
-        pending = pending.subspan(k);
-        array_.publish_combined(k);
-      }
-      telemetry::combine_end(batch.size());
-    }
-    // Late safety net: if our own op was announced after the last scan
-    // cleared it — impossible by construction (we announced before trying
-    // the lock) — run it directly.
-    if (own.status() != OpStatus::Done) {
-      array_.remove_strong();
-      own.run_seq(ds_);
-      own.mark_done(Phase::UnderLock);
-      stats_.record_completion(own.class_id(), Phase::UnderLock);
-    }
-  }
-
-  // Per-thread selection arena, reserved once (no growth while combining).
-  static std::vector<Op*>& scratch() {
-    thread_local std::vector<Op*> batch = [] {
-      std::vector<Op*> v;
-      v.reserve(util::kMaxThreads);
-      return v;
-    }();
-    return batch;
-  }
-
-  DS& ds_;
-  int scan_rounds_;
-  Lock lock_;
-  PublicationArray<DS> array_;
-  EngineStats stats_;
 };
 
 }  // namespace hcf::core

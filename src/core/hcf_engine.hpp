@@ -1,462 +1,40 @@
 // HCF — the HTM-assisted Combining Framework (the paper's contribution).
 //
-// Every operation goes through at most four phases (§2.1):
-//
-//   1. TryPrivate       — speculative attempts before announcing.
-//   2. TryVisible       — announce in the class's publication array, then
-//                         more speculative attempts; the transaction checks
-//                         (a) the data-structure lock, (b) the operation is
-//                         still Announced, (c) the array's selection lock is
-//                         free, and removes the announcement in the same
-//                         transaction that applies the op.
-//   3. TryCombining     — become a combiner: under the selection lock,
-//                         select announced operations (should_help), mark
-//                         them BeingHelped and unpublish them; then apply
-//                         them in one or more hardware transactions through
-//                         run_multi.
-//   4. CombineUnderLock — acquire the data-structure lock and finish the
-//                         remaining selected operations non-speculatively.
-//
-// Operation classes (Operation::class_id) map to publication arrays with
-// independent per-phase attempt budgets, which is how the paper expresses
-// per-operation policies (e.g. hash-table Insert combines, Find/Remove run
-// TLE-like). Correctness is configuration-independent; only performance
-// changes (§2.1).
+// The four-phase protocol itself lives in the shared phase machine
+// (core/phase_exec.hpp) and combining core (core/combine_core.hpp); this
+// engine is its CombinerMode::Multi instantiation — the paper's default,
+// where combiners hold the selection lock only while selecting (marking
+// victims BeingHelped) and then combine on HTM concurrently with owners'
+// visible-phase attempts.
 #pragma once
 
-#include <atomic>
-#include <cassert>
-#include <cstdint>
-#include <memory>
-#include <span>
 #include <string_view>
 #include <vector>
 
-#include "core/engine_stats.hpp"
-#include "core/operation.hpp"
-#include "core/publication_array.hpp"
-#include "core/tle_engine.hpp"
-#include "core/types.hpp"
-#include "mem/ebr.hpp"
-#include "sim_htm/htm.hpp"
-#include "sync/tx_lock.hpp"
-#include "telemetry/telemetry.hpp"
-#include "util/backoff.hpp"
-#include "util/thread_id.hpp"
+#include "core/phase_exec.hpp"
 
 namespace hcf::core {
 
-// Per-operation-class policy: HTM attempt budgets per phase (paper's
-// TryPrivateTrials / TryVisibleTrials / TryCombiningTrials) and whether the
-// class announces at all. announce=false yields pure TLE behaviour for the
-// class: failed speculation goes straight to running its own op under the
-// lock.
-struct PhasePolicy {
-  int try_private = 2;
-  int try_visible = 3;
-  int try_combining = 5;
-  bool announce = true;
-
-  static constexpr PhasePolicy paper_default() noexcept {
-    return {2, 3, 5, true};
-  }
-  // TLE expressed as an HCF configuration (§2.4).
-  static constexpr PhasePolicy tle_like(int budget = kDefaultHtmBudget) noexcept {
-    return {budget, 0, 0, false};
-  }
-  // FC expressed as an HCF configuration (§2.4).
-  static constexpr PhasePolicy fc_like() noexcept { return {0, 0, 0, true}; }
-  // The paper's contended-operation policy (e.g. priority-queue RemoveMin):
-  // skip the private phase, announce immediately, combine on HTM.
-  static constexpr PhasePolicy combine_first(int combining = 10) noexcept {
-    return {0, 0, combining, true};
-  }
-};
-
-struct ClassConfig {
-  std::size_t array = 0;  // publication array index
-  PhasePolicy policy{};
-};
-
-namespace detail {
-
-// Atomically-updatable storage for a PhasePolicy. set_class_policy may
-// overwrite a class's policy while concurrent execute() calls read it (§2.4
-// dynamic customization), so the fields are independent relaxed atomics: a
-// reader snapshotting mid-update can observe a mix of old and new budgets,
-// which is harmless — the policy shapes trial budgets, never correctness.
-// These atomics are engine configuration, never touched inside a
-// transaction, so the TxCell/TxField funnel does not apply.
-class AtomicPolicy {
- public:
-  explicit AtomicPolicy(const PhasePolicy& p) noexcept { store(p); }
-  AtomicPolicy(const AtomicPolicy& other) noexcept { store(other.load()); }
-  AtomicPolicy& operator=(const AtomicPolicy& other) noexcept {
-    store(other.load());
-    return *this;
-  }
-
-  void store(const PhasePolicy& p) noexcept {
-    try_private_.store(p.try_private, std::memory_order_relaxed);
-    try_visible_.store(p.try_visible, std::memory_order_relaxed);
-    try_combining_.store(p.try_combining, std::memory_order_relaxed);
-    announce_.store(p.announce, std::memory_order_relaxed);
-  }
-  PhasePolicy load() const noexcept {
-    return {try_private_.load(std::memory_order_relaxed),
-            try_visible_.load(std::memory_order_relaxed),
-            try_combining_.load(std::memory_order_relaxed),
-            announce_.load(std::memory_order_relaxed)};
-  }
-
- private:
-  std::atomic<int> try_private_;    // lint:allow(raw-atomic-in-core)
-  std::atomic<int> try_visible_;    // lint:allow(raw-atomic-in-core)
-  std::atomic<int> try_combining_;  // lint:allow(raw-atomic-in-core)
-  std::atomic<bool> announce_;      // lint:allow(raw-atomic-in-core)
-};
-
-}  // namespace detail
-
 template <typename DS, sync::ElidableLock Lock = sync::TxLock,
           sync::ElidableLock SelectionLock = sync::TxLock>
-class HcfEngine {
- public:
-  using Op = Operation<DS>;
-  using PubArray = PublicationArray<DS, SelectionLock>;
+class HcfEngine
+    : public PhaseMachine<DS, EnginePolicy<CombinerMode::Multi>, Lock,
+                          SelectionLock> {
+  using Base = PhaseMachine<DS, EnginePolicy<CombinerMode::Multi>, Lock,
+                            SelectionLock>;
 
+ public:
   // `classes[i]` configures operations with class_id == i. `num_arrays`
   // publication arrays are created; every ClassConfig::array must be < it.
   HcfEngine(DS& ds, std::vector<ClassConfig> classes,
             std::size_t num_arrays = 1)
-      : ds_(ds) {
-    assert(!classes.empty());
-    assert(classes.size() <= kMaxOpClasses);
-    classes_.reserve(classes.size());
-    for (const auto& c : classes) {
-      assert(c.array < num_arrays);
-      classes_.emplace_back(c);
-    }
-    arrays_.reserve(num_arrays);
-    for (std::size_t i = 0; i < num_arrays; ++i) {
-      arrays_.push_back(std::make_unique<PubArray>());
-    }
-  }
+      : Base(ds, std::move(classes), num_arrays) {}
 
   // Single-class convenience constructor.
   explicit HcfEngine(DS& ds, PhasePolicy policy = PhasePolicy::paper_default())
-      : HcfEngine(ds, {ClassConfig{0, policy}}, 1) {}
+      : Base(ds, {ClassConfig{0, policy}}, 1) {}
 
   static std::string_view name() noexcept { return "HCF"; }
-
-  Phase execute(Op& op) {
-    mem::Guard ebr;
-    op.prepare();
-    assert(static_cast<std::size_t>(op.class_id()) < classes_.size());
-    const ClassSlot& cfg = classes_[static_cast<std::size_t>(op.class_id())];
-    // One policy snapshot per operation: set_class_policy may update the
-    // slot concurrently, and each phase should see a consistent budget.
-    const PhasePolicy policy = cfg.policy.load();
-    PubArray& pa = *arrays_[cfg.array];
-
-    // Telemetry hooks live here, between phases and outside every
-    // htm::attempt body (tracing inside a transaction is a protocol
-    // violation — see tools/lint rule tx-telemetry-call).
-    telemetry::phase_enter(static_cast<int>(Phase::Private));
-    const bool done_private = try_private(op, policy);
-    telemetry::phase_exit(static_cast<int>(Phase::Private), done_private);
-    if (done_private) return Phase::Private;
-
-    telemetry::phase_enter(static_cast<int>(Phase::Visible));
-    const bool done_visible = try_visible(op, pa, policy);
-    telemetry::phase_exit(static_cast<int>(Phase::Visible), done_visible);
-    if (done_visible) return op.completed_phase();
-
-    std::vector<Op*>& ops_to_help = scratch();
-    ops_to_help.clear();
-    std::size_t session_ops = 0;
-    telemetry::phase_enter(static_cast<int>(Phase::Combining));
-    const bool done_combining =
-        try_combining(op, pa, policy, ops_to_help, session_ops);
-    telemetry::phase_exit(static_cast<int>(Phase::Combining), done_combining);
-    if (!done_combining) {
-      telemetry::phase_enter(static_cast<int>(Phase::UnderLock));
-      combine_under_lock(op, pa, ops_to_help);
-      telemetry::phase_exit(static_cast<int>(Phase::UnderLock), true);
-    }
-    // A combining session (if one started) is over once every selected op
-    // has been applied, speculatively or under the lock.
-    if (session_ops != 0) telemetry::combine_end(session_ops);
-    return op.completed_phase();
-  }
-
-  EngineStats& stats() noexcept { return stats_; }
-  std::uint64_t lock_acquisitions() const noexcept {
-    return lock_.acquisition_count();
-  }
-  void reset_stats() noexcept {
-    stats_.reset();
-    lock_.reset_stats();
-  }
-
-  DS& data() noexcept { return ds_; }
-  Lock& lock() noexcept { return lock_; }
-  PubArray& publication_array(std::size_t i) noexcept { return *arrays_[i]; }
-  std::size_t num_arrays() const noexcept { return arrays_.size(); }
-  std::size_t num_classes() const noexcept { return classes_.size(); }
-  ClassConfig class_config(std::size_t cls) const noexcept {
-    return {classes_[cls].array, classes_[cls].policy.load()};
-  }
-
-  // Dynamic reconfiguration (§2.4: "the customization may be dynamic").
-  // Configuration affects only performance, never correctness, so this may
-  // overlap with concurrent execute() calls: the policy fields are relaxed
-  // atomics (detail::AtomicPolicy), and a reader of a half-updated policy
-  // merely runs one operation with a hybrid trial budget. The publication
-  // array assignment is intentionally NOT changeable here — moving a class
-  // between arrays while its ops are announced would need a handshake.
-  void set_class_policy(std::size_t cls, const PhasePolicy& policy) noexcept {
-    classes_[cls].policy.store(policy);
-  }
-
- private:
-  // ---- Phase 1 -------------------------------------------------------
-  bool try_private(Op& op, const PhasePolicy& policy) {
-    util::ExpBackoff backoff(0x4cf1 + util::this_thread_id());
-    for (int attempt = 0; attempt < policy.try_private; ++attempt) {
-      lock_.wait_until_free();
-      const bool committed = htm::attempt([&] {
-        lock_.subscribe();
-        op.run_seq(ds_);
-      });
-      if (committed) {
-        complete(op, Phase::Private);
-        return true;
-      }
-      stats_.record_attempt_failure(op.class_id());
-      if (htm::last_abort_code() == htm::AbortCode::Capacity) return false;
-      if (htm::last_abort_code() == htm::AbortCode::Conflict) backoff.pause();
-    }
-    return false;
-  }
-
-  // ---- Phase 2 -------------------------------------------------------
-  bool try_visible(Op& op, PubArray& pa, const PhasePolicy& policy) {
-    if (!policy.announce) return false;
-    op.mark_announced();
-    pa.add(&op);
-
-    util::ExpBackoff backoff(0x4cf2 + util::this_thread_id());
-    for (int attempt = 0; attempt < policy.try_visible; ++attempt) {
-      // A combiner may have selected (and completed) us already.
-      if (op.status() != OpStatus::Announced) {
-        op.wait_done();
-        return true;
-      }
-      lock_.wait_until_free();
-      const bool committed = htm::attempt([&] {
-        lock_.subscribe();
-        // Abort if a combiner selected us or is scanning the array: these
-        // reads join the read set, so *later* selection also dooms us.
-        if (op.status_tx() != OpStatus::Announced) htm::abort_tx();
-        pa.selection_lock().subscribe();
-        op.run_seq(ds_);
-        // Unpublish atomically with the op's effect (the race discussed in
-        // §2.2: a combiner must never select an already-applied op).
-        pa.remove_tx(&op);
-      });
-      if (committed) {
-        complete(op, Phase::Visible);
-        return true;
-      }
-      stats_.record_attempt_failure(op.class_id());
-      if (htm::last_abort_code() == htm::AbortCode::Conflict) backoff.pause();
-    }
-    // Not completed; the op stays announced and we escalate to combining.
-    return false;
-  }
-
-  // ---- Phase 3 -------------------------------------------------------
-  // Returns true iff nothing is left for CombineUnderLock. The caller's
-  // own op may be complete even when this returns false (the paper notes
-  // exactly this asymmetry) — remaining selected ops still must be run.
-  bool try_combining(Op& op, PubArray& pa, const PhasePolicy& policy,
-                     std::vector<Op*>& ops_to_help,
-                     std::size_t& session_ops) {
-    if (policy.announce) {
-      // Compete for the selection lock *while watching our own status*: if
-      // a combiner selects us in the meantime we never need the lock — we
-      // just wait for Done. Blocking unconditionally on the lock would make
-      // every helped owner serialize through it only to discover it was
-      // already helped, which caps the combining degree near 1.
-      //
-      // Waiter protocol (DESIGN.md §9.3): spin with bounded exponential
-      // pause, and watch the array's combined-count epoch — when a
-      // combining round retires a batch the epoch moves, and a waiter whose
-      // op was in that batch wakes on its next status check instead of
-      // re-polling the contended lock line.
-      util::ProportionalWait waiter;
-      std::uint64_t epoch = pa.combined_epoch();
-      for (;;) {
-        if (op.status() != OpStatus::Announced) {
-          op.wait_done();
-          return true;
-        }
-        const std::uint64_t now = pa.combined_epoch();
-        if (now != epoch) {
-          epoch = now;
-          waiter.reset();
-          continue;  // a batch just retired; re-check our status first
-        }
-        if (pa.selection_lock().try_lock()) break;
-        waiter.wait();
-      }
-      telemetry::sel_lock_acquired();
-      if (op.status() != OpStatus::Announced) {
-        // Selected between our last check and the lock acquisition; the
-        // selecting combiner is guaranteed to finish our op.
-        pa.selection_lock().unlock();
-        telemetry::sel_lock_released();
-        op.wait_done();
-        return true;
-      }
-      choose_ops_to_help(op, pa, ops_to_help);
-      pa.selection_lock().unlock();
-      telemetry::sel_lock_released();
-      // Batch shaping happens after the selection lock is released: group
-      // by the adapter's combine key (so run_multi sees eliminable pairs
-      // adjacent) and pull the descriptors toward this core.
-      group_and_prefetch(op, ops_to_help);
-      // Only announcing classes count as combining sessions — a TLE-like
-      // class falling through to the lock is not a combiner (keeps the
-      // Fig. 4 combining-degree metric meaningful).
-      stats_.combiner_sessions.add();
-      stats_.ops_selected.add(ops_to_help.size());
-      session_ops = ops_to_help.size();
-      telemetry::combine_begin(session_ops);
-    } else {
-      // Never-announced (TLE-like) class: we "combine" only our own op.
-      ops_to_help.push_back(&op);
-    }
-
-    util::ExpBackoff backoff(0x4cf3 + util::this_thread_id());
-    int failures = 0;
-    while (failures < policy.try_combining && !ops_to_help.empty()) {
-      lock_.wait_until_free();
-      std::size_t executed = 0;
-      const bool committed = htm::attempt([&] {
-        lock_.subscribe();
-        executed = op.run_multi(ds_, std::span<Op*>(ops_to_help));
-      });
-      if (committed) {
-        assert(executed >= 1 && executed <= ops_to_help.size());
-        stats_.combine_rounds.add();
-        retire_prefix(op, pa, ops_to_help, executed, Phase::Combining);
-      } else {
-        ++failures;
-        stats_.record_attempt_failure(op.class_id());
-        if (htm::last_abort_code() == htm::AbortCode::Capacity) break;
-        if (htm::last_abort_code() == htm::AbortCode::Conflict) {
-          backoff.pause();
-        }
-      }
-    }
-    return ops_to_help.empty();
-  }
-
-  // ---- Phase 4 -------------------------------------------------------
-  void combine_under_lock(Op& op, PubArray& pa,
-                          std::vector<Op*>& ops_to_help) {
-    assert(!ops_to_help.empty());
-    sync::LockGuard<Lock> guard(lock_);
-    while (!ops_to_help.empty()) {
-      const std::size_t executed =
-          op.run_multi(ds_, std::span<Op*>(ops_to_help));
-      assert(executed >= 1 && executed <= ops_to_help.size());
-      stats_.combine_rounds.add();
-      retire_prefix(op, pa, ops_to_help, executed, Phase::UnderLock);
-    }
-  }
-
-  // ---- helpers -------------------------------------------------------
-
-  // chooseOpsToHelp (paper §2.2): scan the publication array under the
-  // selection lock; the caller's op is chosen unconditionally, every other
-  // announced op is offered to should_help. Chosen ops transition to
-  // BeingHelped (dooming their owners' speculation) and are unpublished.
-  // The gather target is the caller's preallocated per-thread arena, so
-  // nothing allocates while the selection lock is held.
-  void choose_ops_to_help(Op& op, PubArray& pa,
-                          std::vector<Op*>& ops_to_help) {
-    op.mark_being_helped();
-    pa.clear_slot(util::this_thread_id());
-    ops_to_help.push_back(&op);
-    const std::size_t words_skipped =
-        // scan-locked: try_combining acquired pa.selection_lock() above.
-        pa.collect_announced(ops_to_help, [&](Op* candidate) {
-          if (candidate == &op) return false;
-          if (candidate->status() != OpStatus::Announced) return false;
-          if (!op.should_help(*candidate)) return false;
-          candidate->mark_being_helped();
-          return true;
-        });
-    stats_.scan_words_skipped.add(words_skipped);
-  }
-
-  void group_and_prefetch(Op& op, std::vector<Op*>& ops_to_help) {
-    if (ops_to_help.size() > 1 && op.combine_keyed()) {
-      const std::size_t groups = group_batch(std::span<Op*>(ops_to_help));
-      stats_.batch_groups.add(groups);
-      stats_.batch_group_sizes.add(ops_to_help.size());
-    }
-    prefetch_batch(std::span<Op* const>(ops_to_help));
-  }
-
-  void retire_prefix(Op& own, PubArray& pa, std::vector<Op*>& ops,
-                     std::size_t k, Phase phase) {
-    for (std::size_t i = 0; i < k; ++i) {
-      Op* done = ops[i];
-      const int cls = done->class_id();
-      done->mark_done(phase);
-      stats_.record_completion(cls, phase);
-      if (done != &own) stats_.helped_ops.add();
-    }
-    ops.erase(ops.begin(), ops.begin() + static_cast<std::ptrdiff_t>(k));
-    // Wake helped owners' selection-lock competition in O(1): the epoch
-    // moves after the Done stores above, so a waiter observing it re-checks
-    // its own status before touching the lock.
-    pa.publish_combined(k);
-  }
-
-  void complete(Op& op, Phase phase) {
-    op.mark_done(phase);
-    stats_.record_completion(op.class_id(), phase);
-  }
-
-  // Per-thread selection arena, reserved to full capacity once: selection
-  // must never regrow a vector while the selection lock is held (the
-  // allocation was a hidden serialization point in the seed).
-  static std::vector<Op*>& scratch() {
-    thread_local std::vector<Op*> ops = [] {
-      std::vector<Op*> v;
-      v.reserve(util::kMaxThreads);
-      return v;
-    }();
-    return ops;
-  }
-
-  // Internal mirror of ClassConfig with an atomically-updatable policy.
-  struct ClassSlot {
-    explicit ClassSlot(const ClassConfig& c) : array(c.array), policy(c.policy) {}
-    std::size_t array;
-    detail::AtomicPolicy policy;
-  };
-
-  DS& ds_;
-  std::vector<ClassSlot> classes_;
-  std::vector<std::unique_ptr<PubArray>> arrays_;
-  Lock lock_;
-  EngineStats stats_;
 };
 
 }  // namespace hcf::core

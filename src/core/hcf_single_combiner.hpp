@@ -1,6 +1,7 @@
 // Specialized HCF variant (§2.4): the combiner holds the publication
 // array's selection lock for the *entire* combining phase, not just for
-// selection. Consequences, exactly as the paper describes:
+// selection — the phase machine's CombinerMode::SingleHolder instantiation.
+// Consequences, exactly as the paper describes:
 //
 //   * owners in TryVisible cannot run concurrently with an active combiner
 //     on the same array (their transactions subscribe to the selection
@@ -13,268 +14,31 @@
 //     different arrays and non-combining threads still run concurrently.
 #pragma once
 
-#include <cassert>
-#include <cstdint>
-#include <memory>
-#include <span>
 #include <string_view>
 #include <vector>
 
-#include "core/engine_stats.hpp"
-#include "core/hcf_engine.hpp"
-#include "core/operation.hpp"
-#include "core/publication_array.hpp"
-#include "mem/ebr.hpp"
-#include "sim_htm/htm.hpp"
-#include "sync/tx_lock.hpp"
-#include "telemetry/telemetry.hpp"
-#include "util/backoff.hpp"
-#include "util/thread_id.hpp"
+#include "core/phase_exec.hpp"
 
 namespace hcf::core {
 
 template <typename DS, sync::ElidableLock Lock = sync::TxLock,
           sync::ElidableLock SelectionLock = sync::TxLock>
-class HcfSingleCombinerEngine {
- public:
-  using Op = Operation<DS>;
-  using PubArray = PublicationArray<DS, SelectionLock>;
+class HcfSingleCombinerEngine
+    : public PhaseMachine<DS, EnginePolicy<CombinerMode::SingleHolder>, Lock,
+                          SelectionLock> {
+  using Base = PhaseMachine<DS, EnginePolicy<CombinerMode::SingleHolder>,
+                            Lock, SelectionLock>;
 
+ public:
   HcfSingleCombinerEngine(DS& ds, std::vector<ClassConfig> classes,
                           std::size_t num_arrays = 1)
-      : ds_(ds), classes_(std::move(classes)) {
-    assert(!classes_.empty());
-    arrays_.reserve(num_arrays);
-    for (std::size_t i = 0; i < num_arrays; ++i) {
-      arrays_.push_back(std::make_unique<PubArray>());
-    }
-  }
+      : Base(ds, std::move(classes), num_arrays) {}
 
   explicit HcfSingleCombinerEngine(
       DS& ds, PhasePolicy policy = PhasePolicy::paper_default())
-      : HcfSingleCombinerEngine(ds, {ClassConfig{0, policy}}, 1) {}
+      : Base(ds, {ClassConfig{0, policy}}, 1) {}
 
   static std::string_view name() noexcept { return "HCF-1C"; }
-
-  Phase execute(Op& op) {
-    mem::Guard ebr;
-    op.prepare();
-    const ClassConfig& cfg = classes_[static_cast<std::size_t>(op.class_id())];
-    PubArray& pa = *arrays_[cfg.array];
-
-    // Telemetry hooks between phases, outside all htm::attempt bodies.
-    telemetry::phase_enter(static_cast<int>(Phase::Private));
-    const bool done_private = try_private(op, cfg.policy);
-    telemetry::phase_exit(static_cast<int>(Phase::Private), done_private);
-    if (done_private) return Phase::Private;
-
-    telemetry::phase_enter(static_cast<int>(Phase::Visible));
-    const bool done_visible = try_visible(op, pa, cfg.policy);
-    telemetry::phase_exit(static_cast<int>(Phase::Visible), done_visible);
-    if (done_visible) return op.completed_phase();
-
-    telemetry::phase_enter(static_cast<int>(Phase::Combining));
-    combine(op, pa, cfg.policy);
-    telemetry::phase_exit(static_cast<int>(Phase::Combining), true);
-    return op.completed_phase();
-  }
-
-  EngineStats& stats() noexcept { return stats_; }
-  std::uint64_t lock_acquisitions() const noexcept {
-    return lock_.acquisition_count();
-  }
-  void reset_stats() noexcept {
-    stats_.reset();
-    lock_.reset_stats();
-  }
-
-  DS& data() noexcept { return ds_; }
-  Lock& lock() noexcept { return lock_; }
-
- private:
-  bool try_private(Op& op, const PhasePolicy& policy) {
-    util::ExpBackoff backoff(0x1c01 + util::this_thread_id());
-    for (int attempt = 0; attempt < policy.try_private; ++attempt) {
-      lock_.wait_until_free();
-      const bool committed = htm::attempt([&] {
-        lock_.subscribe();
-        op.run_seq(ds_);
-      });
-      if (committed) {
-        complete(op, Phase::Private);
-        return true;
-      }
-      if (htm::last_abort_code() == htm::AbortCode::Capacity) return false;
-      if (htm::last_abort_code() == htm::AbortCode::Conflict) backoff.pause();
-    }
-    return false;
-  }
-
-  bool try_visible(Op& op, PubArray& pa, const PhasePolicy& policy) {
-    if (!policy.announce) return false;
-    op.mark_announced();
-    pa.add(&op);
-
-    util::ExpBackoff backoff(0x1c02 + util::this_thread_id());
-    for (int attempt = 0; attempt < policy.try_visible; ++attempt) {
-      if (op.status() == OpStatus::Done) return true;
-      lock_.wait_until_free();
-      pa.selection_lock().wait_until_free();
-      const bool committed = htm::attempt([&] {
-        lock_.subscribe();
-        // Status check first: the combiner (selection-lock holder) may have
-        // already applied us. The selection-lock subscription dooms this
-        // transaction if a combiner starts while we speculate.
-        if (op.status_tx() != OpStatus::Announced) htm::abort_tx();
-        pa.selection_lock().subscribe();
-        op.run_seq(ds_);
-        pa.remove_tx(&op);
-      });
-      if (committed) {
-        complete(op, Phase::Visible);
-        return true;
-      }
-      if (htm::last_abort_code() == htm::AbortCode::Conflict) backoff.pause();
-    }
-    return false;
-  }
-
-  // Combining with the selection lock held throughout; Announced -> Done
-  // directly, no BeingHelped.
-  void combine(Op& op, PubArray& pa, const PhasePolicy& policy) {
-    std::vector<Op*>& ops_to_help = scratch();
-    ops_to_help.clear();
-
-    if (policy.announce) {
-      // As in HcfEngine::try_combining: watch our own status while
-      // competing for the selection lock, so owners helped by the active
-      // combiner return without ever acquiring it. The combined-count
-      // epoch makes that wake-up O(1): when the active combiner retires a
-      // batch, waiters re-check their own status instead of re-polling the
-      // contended lock line (DESIGN.md §9.3).
-      util::ProportionalWait waiter;
-      std::uint64_t epoch = pa.combined_epoch();
-      for (;;) {
-        if (op.status() == OpStatus::Done) return;
-        const std::uint64_t now = pa.combined_epoch();
-        if (now != epoch) {
-          epoch = now;
-          waiter.reset();
-          continue;
-        }
-        if (pa.selection_lock().try_lock()) break;
-        waiter.wait();
-      }
-      telemetry::sel_lock_acquired();
-      if (op.status() == OpStatus::Done) {
-        pa.selection_lock().unlock();
-        telemetry::sel_lock_released();
-        return;
-      }
-      // Select. Slots are unpublished now (still under the selection lock),
-      // so owners re-running TryVisible after we release cannot duplicate.
-      // Unlike HcfEngine there is no BeingHelped transition — holding the
-      // selection lock for the whole phase is what dooms the owners.
-      pa.clear_slot(util::this_thread_id());
-      ops_to_help.push_back(&op);
-      const std::size_t words_skipped =
-          // scan-locked: pa.selection_lock() acquired above, held throughout.
-          pa.collect_announced(ops_to_help, [&](Op* candidate) {
-            return candidate != &op &&
-                   candidate->status() == OpStatus::Announced &&
-                   op.should_help(*candidate);
-          });
-      stats_.scan_words_skipped.add(words_skipped);
-      if (ops_to_help.size() > 1 && op.combine_keyed()) {
-        const std::size_t groups =
-            group_batch(std::span<Op*>(ops_to_help));
-        stats_.batch_groups.add(groups);
-        stats_.batch_group_sizes.add(ops_to_help.size());
-      }
-      prefetch_batch(std::span<Op* const>(ops_to_help));
-      stats_.combiner_sessions.add();
-      stats_.ops_selected.add(ops_to_help.size());
-      telemetry::combine_begin(ops_to_help.size());
-    } else {
-      ops_to_help.push_back(&op);
-    }
-    const std::size_t session_ops = policy.announce ? ops_to_help.size() : 0;
-
-    util::ExpBackoff backoff(0x1c03 + util::this_thread_id());
-    int failures = 0;
-    while (failures < policy.try_combining && !ops_to_help.empty()) {
-      lock_.wait_until_free();
-      std::size_t executed = 0;
-      const bool committed = htm::attempt([&] {
-        lock_.subscribe();
-        executed = op.run_multi(ds_, std::span<Op*>(ops_to_help));
-      });
-      if (committed) {
-        stats_.combine_rounds.add();
-        retire_prefix(op, pa, ops_to_help, executed, Phase::Combining);
-      } else {
-        ++failures;
-        if (htm::last_abort_code() == htm::AbortCode::Capacity) break;
-        if (htm::last_abort_code() == htm::AbortCode::Conflict) {
-          backoff.pause();
-        }
-      }
-    }
-
-    if (!ops_to_help.empty()) {
-      telemetry::phase_enter(static_cast<int>(Phase::UnderLock));
-      sync::LockGuard<Lock> guard(lock_);
-      while (!ops_to_help.empty()) {
-        const std::size_t executed =
-            op.run_multi(ds_, std::span<Op*>(ops_to_help));
-        stats_.combine_rounds.add();
-        retire_prefix(op, pa, ops_to_help, executed, Phase::UnderLock);
-      }
-      telemetry::phase_exit(static_cast<int>(Phase::UnderLock), true);
-    }
-
-    if (session_ops != 0) telemetry::combine_end(session_ops);
-    if (policy.announce) {
-      pa.selection_lock().unlock();
-      telemetry::sel_lock_released();
-    }
-  }
-
-  void retire_prefix(Op& own, PubArray& pa, std::vector<Op*>& ops,
-                     std::size_t k, Phase phase) {
-    assert(k >= 1 && k <= ops.size());
-    for (std::size_t i = 0; i < k; ++i) {
-      Op* done = ops[i];
-      const int cls = done->class_id();
-      done->mark_done(phase);
-      stats_.record_completion(cls, phase);
-      if (done != &own) stats_.helped_ops.add();
-    }
-    ops.erase(ops.begin(), ops.begin() + static_cast<std::ptrdiff_t>(k));
-    pa.publish_combined(k);
-  }
-
-  void complete(Op& op, Phase phase) {
-    op.mark_done(phase);
-    stats_.record_completion(op.class_id(), phase);
-  }
-
-  // Per-thread selection arena, reserved once (no growth under the
-  // selection lock).
-  static std::vector<Op*>& scratch() {
-    thread_local std::vector<Op*> ops = [] {
-      std::vector<Op*> v;
-      v.reserve(util::kMaxThreads);
-      return v;
-    }();
-    return ops;
-  }
-
-  DS& ds_;
-  std::vector<ClassConfig> classes_;
-  std::vector<std::unique_ptr<PubArray>> arrays_;
-  Lock lock_;
-  EngineStats stats_;
 };
 
 }  // namespace hcf::core

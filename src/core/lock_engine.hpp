@@ -1,55 +1,24 @@
 // Baseline engine: every operation runs under the data-structure lock.
+// The zero-everything corner of the phase machine — CombinerMode::None
+// with no speculation budget, so execute() is exactly the under-lock path.
 #pragma once
 
 #include <string_view>
 
-#include "core/engine_stats.hpp"
-#include "core/operation.hpp"
-#include "mem/ebr.hpp"
-#include "sync/tx_lock.hpp"
-#include "telemetry/telemetry.hpp"
+#include "core/phase_exec.hpp"
 
 namespace hcf::core {
 
 template <typename DS, sync::ElidableLock Lock = sync::TxLock>
-class LockEngine {
- public:
-  using Op = Operation<DS>;
+class LockEngine
+    : public PhaseMachine<DS, EnginePolicy<CombinerMode::None>, Lock> {
+  using Base = PhaseMachine<DS, EnginePolicy<CombinerMode::None>, Lock>;
 
-  explicit LockEngine(DS& ds) noexcept : ds_(ds) {}
+ public:
+  explicit LockEngine(DS& ds)
+      : Base(ds, uniform_classes(PhasePolicy{0, 0, 0, false})) {}
 
   static std::string_view name() noexcept { return "Lock"; }
-
-  Phase execute(Op& op) {
-    mem::Guard ebr;
-    op.prepare();
-    telemetry::phase_enter(static_cast<int>(Phase::UnderLock));
-    {
-      sync::LockGuard<Lock> guard(lock_);
-      op.run_seq(ds_);
-    }
-    telemetry::phase_exit(static_cast<int>(Phase::UnderLock), true);
-    op.mark_done(Phase::UnderLock);
-    stats_.record_completion(op.class_id(), Phase::UnderLock);
-    return Phase::UnderLock;
-  }
-
-  EngineStats& stats() noexcept { return stats_; }
-  std::uint64_t lock_acquisitions() const noexcept {
-    return lock_.acquisition_count();
-  }
-  void reset_stats() noexcept {
-    stats_.reset();
-    lock_.reset_stats();
-  }
-
-  DS& data() noexcept { return ds_; }
-  Lock& lock() noexcept { return lock_; }
-
- private:
-  DS& ds_;
-  Lock lock_;
-  EngineStats stats_;
 };
 
 }  // namespace hcf::core

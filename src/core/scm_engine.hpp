@@ -11,7 +11,6 @@
 
 #include "core/engine_stats.hpp"
 #include "core/operation.hpp"
-#include "core/tle_engine.hpp"
 #include "mem/ebr.hpp"
 #include "sim_htm/htm.hpp"
 #include "sync/spinlock.hpp"
@@ -89,7 +88,8 @@ class ScmEngine {
 
  private:
   bool try_speculative(Op& op, int budget, bool* capacity) {
-    util::ExpBackoff backoff(0x5c30 + util::this_thread_id());
+    util::ExpBackoff backoff(
+        util::backoff_seed(util::BackoffSite::kScmSpeculate));
     for (int attempt = 0; attempt < budget; ++attempt) {
       lock_.wait_until_free();
       const bool committed = htm::attempt([&] {

@@ -2,86 +2,30 @@
 // operation speculatively up to `budget` times, subscribing to the
 // data-structure lock; fall back to acquiring the lock.
 //
-// Retry discipline follows production TLE: wait for the lock to be free
-// before (re)starting a transaction, back off between conflict aborts, and
-// stop retrying after a capacity abort (it will repeat deterministically).
+// Expressed on the shared phase machine (§2.4's degeneration theorem,
+// stated structurally): CombinerMode::None with a tle_like policy —
+// TryPrivate with the full budget, no announcing, no combining. The retry
+// discipline (wait for the lock to be free before (re)starting, back off
+// between conflict aborts, stop retrying after a capacity abort) lives in
+// the shared TryPrivate loop.
 #pragma once
 
 #include <string_view>
 
-#include "core/engine_stats.hpp"
-#include "core/operation.hpp"
-#include "mem/ebr.hpp"
-#include "sim_htm/htm.hpp"
-#include "sync/tx_lock.hpp"
-#include "telemetry/telemetry.hpp"
-#include "util/backoff.hpp"
+#include "core/phase_exec.hpp"
 
 namespace hcf::core {
 
-inline constexpr int kDefaultHtmBudget = 10;
-
 template <typename DS, sync::ElidableLock Lock = sync::TxLock>
-class TleEngine {
- public:
-  using Op = Operation<DS>;
+class TleEngine
+    : public PhaseMachine<DS, EnginePolicy<CombinerMode::None>, Lock> {
+  using Base = PhaseMachine<DS, EnginePolicy<CombinerMode::None>, Lock>;
 
-  explicit TleEngine(DS& ds, int budget = kDefaultHtmBudget) noexcept
-      : ds_(ds), budget_(budget) {}
+ public:
+  explicit TleEngine(DS& ds, int budget = kDefaultHtmBudget)
+      : Base(ds, uniform_classes(PhasePolicy::tle_like(budget))) {}
 
   static std::string_view name() noexcept { return "TLE"; }
-
-  Phase execute(Op& op) {
-    mem::Guard ebr;
-    op.prepare();
-    // Telemetry hooks sit between attempts, never inside the htm::attempt
-    // body (lint rule tx-telemetry-call).
-    telemetry::phase_enter(static_cast<int>(Phase::Private));
-    util::ExpBackoff backoff(0x71e0 + util::this_thread_id());
-    for (int attempt = 0; attempt < budget_; ++attempt) {
-      lock_.wait_until_free();
-      const bool committed = htm::attempt([&] {
-        lock_.subscribe();
-        op.run_seq(ds_);
-      });
-      if (committed) {
-        telemetry::phase_exit(static_cast<int>(Phase::Private), true);
-        op.mark_done(Phase::Private);
-        stats_.record_completion(op.class_id(), Phase::Private);
-        return Phase::Private;
-      }
-      if (htm::last_abort_code() == htm::AbortCode::Capacity) break;
-      if (htm::last_abort_code() == htm::AbortCode::Conflict) backoff.pause();
-    }
-    telemetry::phase_exit(static_cast<int>(Phase::Private), false);
-    telemetry::phase_enter(static_cast<int>(Phase::UnderLock));
-    {
-      sync::LockGuard<Lock> guard(lock_);
-      op.run_seq(ds_);
-    }
-    telemetry::phase_exit(static_cast<int>(Phase::UnderLock), true);
-    op.mark_done(Phase::UnderLock);
-    stats_.record_completion(op.class_id(), Phase::UnderLock);
-    return Phase::UnderLock;
-  }
-
-  EngineStats& stats() noexcept { return stats_; }
-  std::uint64_t lock_acquisitions() const noexcept {
-    return lock_.acquisition_count();
-  }
-  void reset_stats() noexcept {
-    stats_.reset();
-    lock_.reset_stats();
-  }
-
-  DS& data() noexcept { return ds_; }
-  Lock& lock() noexcept { return lock_; }
-
- private:
-  DS& ds_;
-  int budget_;
-  Lock lock_;
-  EngineStats stats_;
 };
 
 }  // namespace hcf::core

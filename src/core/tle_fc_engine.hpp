@@ -8,155 +8,37 @@
 // happens under the global lock, blocking all concurrent HTM activity, and
 // the combining degree stays tiny because most threads are still
 // speculating rather than announcing.
+//
+// Expressed on the shared phase machine: CombinerMode::UnderGlobalLock
+// with a {budget, 0, 0, announce} policy — a TLE-sized TryPrivate budget in
+// front of the flat-combining path, with a single combiner scan pass.
 #pragma once
 
-#include <cstdint>
-#include <span>
 #include <string_view>
 #include <vector>
 
-#include "core/engine_stats.hpp"
-#include "core/operation.hpp"
-#include "core/publication_array.hpp"
-#include "core/tle_engine.hpp"
-#include "mem/ebr.hpp"
-#include "sim_htm/htm.hpp"
-#include "sync/tx_lock.hpp"
-#include "telemetry/telemetry.hpp"
-#include "util/backoff.hpp"
+#include "core/phase_exec.hpp"
 
 namespace hcf::core {
 
-template <typename DS, sync::ElidableLock Lock = sync::TxLock>
-class TleFcEngine {
- public:
-  using Op = Operation<DS>;
+template <typename DS, sync::ElidableLock Lock = sync::TxLock,
+          sync::ElidableLock SelectionLock = sync::TxLock>
+class TleFcEngine
+    : public PhaseMachine<DS, EnginePolicy<CombinerMode::UnderGlobalLock>,
+                          Lock, SelectionLock> {
+  using Base = PhaseMachine<DS, EnginePolicy<CombinerMode::UnderGlobalLock>,
+                            Lock, SelectionLock>;
 
-  explicit TleFcEngine(DS& ds, int budget = kDefaultHtmBudget) noexcept
-      : ds_(ds), budget_(budget) {}
+ public:
+  explicit TleFcEngine(DS& ds, int budget = kDefaultHtmBudget)
+      : Base(ds, uniform_classes(PhasePolicy{budget, 0, 0, true}), 1,
+             /*scan_rounds=*/1) {}
+
+  TleFcEngine(DS& ds, std::vector<ClassConfig> classes,
+              std::size_t num_arrays = 1)
+      : Base(ds, std::move(classes), num_arrays, /*scan_rounds=*/1) {}
 
   static std::string_view name() noexcept { return "TLE+FC"; }
-
-  Phase execute(Op& op) {
-    mem::Guard ebr;
-    op.prepare();
-
-    // --- TLE part ---
-    // Telemetry hooks sit between attempts, outside htm::attempt bodies.
-    telemetry::phase_enter(static_cast<int>(Phase::Private));
-    util::ExpBackoff backoff(0x7fc0 + util::this_thread_id());
-    for (int attempt = 0; attempt < budget_; ++attempt) {
-      lock_.wait_until_free();
-      const bool committed = htm::attempt([&] {
-        lock_.subscribe();
-        op.run_seq(ds_);
-      });
-      if (committed) {
-        telemetry::phase_exit(static_cast<int>(Phase::Private), true);
-        op.mark_done(Phase::Private);
-        stats_.record_completion(op.class_id(), Phase::Private);
-        return Phase::Private;
-      }
-      if (htm::last_abort_code() == htm::AbortCode::Capacity) break;
-      if (htm::last_abort_code() == htm::AbortCode::Conflict) backoff.pause();
-    }
-    telemetry::phase_exit(static_cast<int>(Phase::Private), false);
-
-    // --- FC part ---
-    telemetry::phase_enter(static_cast<int>(Phase::Visible));
-    op.mark_announced();
-    array_.add(&op);
-    // Waiter protocol (DESIGN.md §9.3), as in FcEngine.
-    util::ProportionalWait waiter;
-    std::uint64_t epoch = array_.combined_epoch();
-    for (;;) {
-      if (op.status() == OpStatus::Done) {
-        telemetry::phase_exit(static_cast<int>(Phase::Visible), true);
-        return op.completed_phase();
-      }
-      const std::uint64_t now = array_.combined_epoch();
-      if (now != epoch) {
-        epoch = now;
-        waiter.reset();
-        continue;
-      }
-      if (lock_.try_lock()) {
-        telemetry::phase_exit(static_cast<int>(Phase::Visible), false);
-        telemetry::phase_enter(static_cast<int>(Phase::UnderLock));
-        combine(op);
-        lock_.unlock();
-        telemetry::phase_exit(static_cast<int>(Phase::UnderLock), true);
-        assert(op.status() == OpStatus::Done);
-        return op.completed_phase();
-      }
-      waiter.wait();
-    }
-  }
-
-  EngineStats& stats() noexcept { return stats_; }
-  std::uint64_t lock_acquisitions() const noexcept {
-    return lock_.acquisition_count();
-  }
-  void reset_stats() noexcept {
-    stats_.reset();
-    lock_.reset_stats();
-  }
-
-  DS& data() noexcept { return ds_; }
-  Lock& lock() noexcept { return lock_; }
-
- private:
-  void combine(Op& own) {
-    stats_.combiner_sessions.add();
-    std::vector<Op*>& batch = scratch();
-    batch.clear();
-    // scan-locked: execute() won the data-structure lock, which doubles as
-    // the selection lock in the FC phase of TLE+FC.
-    const std::size_t words_skipped = array_.collect_announced(
-        batch, [](Op* op) { return op->status() == OpStatus::Announced; });
-    stats_.scan_words_skipped.add(words_skipped);
-    if (batch.size() > 1 && own.combine_keyed()) {
-      const std::size_t groups = group_batch(std::span<Op*>(batch));
-      stats_.batch_groups.add(groups);
-      stats_.batch_group_sizes.add(batch.size());
-    }
-    prefetch_batch(std::span<Op* const>(batch));
-    stats_.ops_selected.add(batch.size());
-    telemetry::combine_begin(batch.size());
-    std::span<Op*> pending(batch);
-    while (!pending.empty()) {
-      stats_.combine_rounds.add();
-      const std::size_t k = own.run_multi(ds_, pending);
-      assert(k >= 1 && k <= pending.size());
-      for (std::size_t i = 0; i < k; ++i) {
-        Op* done = pending[i];
-        const int cls = done->class_id();
-        done->mark_done(Phase::UnderLock);
-        stats_.record_completion(cls, Phase::UnderLock);
-        if (done != &own) stats_.helped_ops.add();
-      }
-      pending = pending.subspan(k);
-      array_.publish_combined(k);
-    }
-    if (own.status() != OpStatus::Done) {
-      array_.remove_strong();
-      own.run_seq(ds_);
-      own.mark_done(Phase::UnderLock);
-      stats_.record_completion(own.class_id(), Phase::UnderLock);
-    }
-    telemetry::combine_end(batch.size());
-  }
-
-  static std::vector<Op*>& scratch() {
-    thread_local std::vector<Op*> batch;
-    return batch;
-  }
-
-  DS& ds_;
-  int budget_;
-  Lock lock_;
-  PublicationArray<DS> array_;
-  EngineStats stats_;
 };
 
 }  // namespace hcf::core

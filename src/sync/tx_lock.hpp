@@ -39,7 +39,8 @@ class TxLock {
   TxLock& operator=(const TxLock&) = delete;
 
   void lock() noexcept {
-    util::ExpBackoff backoff(0x51ed2701 + util::this_thread_id());
+    util::ExpBackoff backoff(
+        util::backoff_seed(util::BackoffSite::kLockAcquire));
     while (!try_lock()) {
       wait_until_free();  // spin-then-yield; survives oversubscription
       backoff.pause();    // jitter so waiters don't re-CAS in lockstep

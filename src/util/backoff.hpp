@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "util/rng.hpp"
+#include "util/thread_id.hpp"
 
 #if defined(__x86_64__) || defined(__i386__)
 #include <immintrin.h>
@@ -77,6 +78,25 @@ class ProportionalWait {
   static constexpr std::uint64_t kMaxPause = 256;
   std::uint64_t pause_ = kMinPause;
 };
+
+// Registry of per-site backoff seed bases. Every ExpBackoff call site
+// derives its seed here — site base + thread id — so two threads (or two
+// sites) never walk the same jitter sequence in lockstep, and the magic
+// numbers live in one table instead of being copy-pasted per engine.
+enum class BackoffSite : std::uint64_t {
+  kPhasePrivate = 0x4cf1,     // shared phase machine, TryPrivate attempts
+  kPhaseVisible = 0x4cf2,     // shared phase machine, TryVisible attempts
+  kPhaseCombining = 0x4cf3,   // combine core, speculative combining rounds
+  kScmSpeculate = 0x5c30,     // SCM free/aux speculation rounds
+  kCoreLockMain = 0xc07e,     // CoreLock main TLE loop
+  kCoreLockAux = 0xc07f,      // CoreLock retries under the per-core lock
+  kLockAcquire = 0x51ed2701,  // TxLock acquisition loop
+};
+
+inline std::uint64_t backoff_seed(BackoffSite site) noexcept {
+  return static_cast<std::uint64_t>(site) +
+         static_cast<std::uint64_t>(this_thread_id());
+}
 
 class ExpBackoff {
  public:

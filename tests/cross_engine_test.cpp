@@ -8,10 +8,8 @@
 #include <thread>
 #include <vector>
 
-#include "adapters/avl_ops.hpp"
-#include "adapters/ht_ops.hpp"
 #include "adapters/stack_ops.hpp"
-#include "core/engine.hpp"
+#include "engine_test_util.hpp"
 #include "mem/ebr.hpp"
 #include "util/rng.hpp"
 
@@ -124,6 +122,194 @@ TEST(CrossEngine, ThreeEnginesShareTheSubstrate) {
   EXPECT_EQ(actual, left);
 
   mem::EbrDomain::instance().drain();
+}
+
+// ---- Sequential-spec checks over the unified engine list -------------------
+// Every engine is now an instantiation of the same phase machine; a scripted
+// single-threaded sequence must therefore produce the exact sequential-spec
+// outcome regardless of which policy/mode drives it.
+
+using Dq = ds::Deque<std::uint64_t>;
+using Pq = ds::SkipListPq<std::uint64_t>;
+
+HcfConfig deque_cfg() {
+  return {adapters::deque_paper_config(), adapters::kDequeNumArrays};
+}
+HcfConfig pq_cfg() {
+  return {adapters::pq_paper_config(), adapters::kPqNumArrays};
+}
+
+template <typename Engine>
+void check_deque_sequential_spec() {
+  Dq dq;
+  auto engine = EngineMaker<Engine>::make(dq, deque_cfg());
+  adapters::PushLeftOp<std::uint64_t> push_left;
+  adapters::PushRightOp<std::uint64_t> push_right;
+  adapters::PopLeftOp<std::uint64_t> pop_left;
+  adapters::PopRightOp<std::uint64_t> pop_right;
+  for (std::uint64_t v = 0; v < 5; ++v) {
+    push_left.set(v);
+    engine->execute(push_left);
+  }
+  for (std::uint64_t v = 5; v < 10; ++v) {
+    push_right.set(v);
+    engine->execute(push_right);
+  }
+  // Deque is now 4 3 2 1 0 5 6 7 8 9.
+  for (std::uint64_t expected : {4u, 3u, 2u, 1u, 0u}) {
+    engine->execute(pop_left);
+    ASSERT_EQ(pop_left.result(), expected) << Engine::name();
+  }
+  for (std::uint64_t expected : {9u, 8u, 7u, 6u, 5u}) {
+    engine->execute(pop_right);
+    ASSERT_EQ(pop_right.result(), expected) << Engine::name();
+  }
+  engine->execute(pop_left);
+  EXPECT_FALSE(pop_left.result().has_value()) << Engine::name();
+  engine->execute(pop_right);
+  EXPECT_FALSE(pop_right.result().has_value()) << Engine::name();
+  EXPECT_TRUE(dq.check_invariants()) << Engine::name();
+}
+
+template <typename Engine>
+void check_pq_sequential_spec() {
+  Pq pq;
+  auto engine = EngineMaker<Engine>::make(pq, pq_cfg());
+  adapters::PqInsertOp<std::uint64_t> insert;
+  adapters::PqRemoveMinOp<std::uint64_t> remove_min;
+  for (std::uint64_t k : {5u, 1u, 9u, 3u, 7u, 0u, 8u}) {
+    insert.set(k);
+    engine->execute(insert);
+  }
+  for (std::uint64_t expected : {0u, 1u, 3u, 5u, 7u, 8u, 9u}) {
+    engine->execute(remove_min);
+    ASSERT_EQ(remove_min.result(), expected) << Engine::name();
+  }
+  engine->execute(remove_min);
+  EXPECT_FALSE(remove_min.result().has_value()) << Engine::name();
+  EXPECT_TRUE(pq.check_invariants()) << Engine::name();
+}
+
+TEST(CrossEngine, EveryEngineMeetsDequeSequentialSpec) {
+  check_deque_sequential_spec<Engines<Dq>::Lock>();
+  check_deque_sequential_spec<Engines<Dq>::Tle>();
+  check_deque_sequential_spec<Engines<Dq>::Scm>();
+  check_deque_sequential_spec<Engines<Dq>::CoreLock>();
+  check_deque_sequential_spec<Engines<Dq>::Fc>();
+  check_deque_sequential_spec<Engines<Dq>::TleFc>();
+  check_deque_sequential_spec<Engines<Dq>::Hcf>();
+  check_deque_sequential_spec<Engines<Dq>::Hcf1C>();
+  mem::EbrDomain::instance().drain();
+}
+
+TEST(CrossEngine, EveryEngineMeetsPqSequentialSpec) {
+  check_pq_sequential_spec<Engines<Pq>::Lock>();
+  check_pq_sequential_spec<Engines<Pq>::Tle>();
+  check_pq_sequential_spec<Engines<Pq>::Scm>();
+  check_pq_sequential_spec<Engines<Pq>::CoreLock>();
+  check_pq_sequential_spec<Engines<Pq>::Fc>();
+  check_pq_sequential_spec<Engines<Pq>::TleFc>();
+  check_pq_sequential_spec<Engines<Pq>::Hcf>();
+  check_pq_sequential_spec<Engines<Pq>::Hcf1C>();
+  mem::EbrDomain::instance().drain();
+}
+
+// ---- Concurrent cross-structure run per unified engine ---------------------
+// A deque engine and a PQ engine of the same family run side by side (shared
+// orec table / epoch / EBR domain); both structures must satisfy their
+// multiset accounting afterwards.
+template <typename DqEngine, typename PqEngine>
+void run_deque_and_pq_concurrently() {
+  constexpr int kOps = 3000;
+  Dq dq;
+  Pq pq;
+  auto dq_engine = EngineMaker<DqEngine>::make(dq, deque_cfg());
+  auto pq_engine = EngineMaker<PqEngine>::make(pq, pq_cfg());
+
+  std::vector<std::vector<std::uint64_t>> dq_pushed(2), dq_popped(2);
+  std::vector<std::vector<std::uint64_t>> pq_inserted(2), pq_removed(2);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&, t] {  // deque worker
+      util::Xoshiro256 rng(400 + t);
+      adapters::PushLeftOp<std::uint64_t> push_left;
+      adapters::PopRightOp<std::uint64_t> pop_right;
+      std::uint64_t seq = 0;
+      for (int i = 0; i < kOps; ++i) {
+        if (rng.next_bounded(2) == 0) {
+          const std::uint64_t v = (static_cast<std::uint64_t>(t) << 32) | seq++;
+          push_left.set(v);
+          dq_engine->execute(push_left);
+          dq_pushed[t].push_back(v);
+        } else {
+          dq_engine->execute(pop_right);
+          if (pop_right.result().has_value()) {
+            dq_popped[t].push_back(*pop_right.result());
+          }
+        }
+      }
+    });
+    threads.emplace_back([&, t] {  // priority-queue worker
+      util::Xoshiro256 rng(500 + t);
+      adapters::PqInsertOp<std::uint64_t> insert;
+      adapters::PqRemoveMinOp<std::uint64_t> remove_min;
+      std::uint64_t seq = 0;
+      for (int i = 0; i < kOps; ++i) {
+        if (rng.next_bounded(2) == 0) {
+          const std::uint64_t key = (rng.next_bounded(1 << 16) << 32) |
+                                    (static_cast<std::uint64_t>(t) << 24) |
+                                    seq++;
+          insert.set(key);
+          pq_engine->execute(insert);
+          pq_inserted[t].push_back(key);
+        } else {
+          pq_engine->execute(remove_min);
+          if (remove_min.result().has_value()) {
+            pq_removed[t].push_back(*remove_min.result());
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  std::multiset<std::uint64_t> pushed, popped;
+  for (auto& v : dq_pushed) pushed.insert(v.begin(), v.end());
+  for (auto& v : dq_popped) popped.insert(v.begin(), v.end());
+  for (std::uint64_t v : popped) {
+    ASSERT_EQ(pushed.count(v), 1u) << DqEngine::name();
+    ASSERT_EQ(popped.count(v), 1u) << DqEngine::name();
+  }
+  std::multiset<std::uint64_t> expected_left = pushed;
+  for (std::uint64_t v : popped) expected_left.erase(v);
+  std::multiset<std::uint64_t> actual_left;
+  dq.for_each([&](std::uint64_t v) { actual_left.insert(v); });
+  EXPECT_EQ(actual_left, expected_left) << DqEngine::name();
+  EXPECT_TRUE(dq.check_invariants()) << DqEngine::name();
+
+  std::multiset<std::uint64_t> inserted, removed;
+  for (auto& v : pq_inserted) inserted.insert(v.begin(), v.end());
+  for (auto& v : pq_removed) removed.insert(v.begin(), v.end());
+  for (std::uint64_t k : removed) {
+    ASSERT_EQ(inserted.count(k), 1u) << PqEngine::name();
+    ASSERT_EQ(removed.count(k), 1u) << PqEngine::name();
+  }
+  std::multiset<std::uint64_t> pq_expected = inserted;
+  for (std::uint64_t k : removed) pq_expected.erase(k);
+  std::multiset<std::uint64_t> pq_actual;
+  while (auto k = pq.remove_min()) pq_actual.insert(*k);
+  EXPECT_EQ(pq_actual, pq_expected) << PqEngine::name();
+  EXPECT_TRUE(pq.check_invariants()) << PqEngine::name();
+  mem::EbrDomain::instance().drain();
+}
+
+TEST(CrossEngine, UnifiedEnginesShareSubstrateAcrossDequeAndPq) {
+  run_deque_and_pq_concurrently<Engines<Dq>::Lock, Engines<Pq>::Lock>();
+  run_deque_and_pq_concurrently<Engines<Dq>::Tle, Engines<Pq>::Tle>();
+  run_deque_and_pq_concurrently<Engines<Dq>::Fc, Engines<Pq>::Fc>();
+  run_deque_and_pq_concurrently<Engines<Dq>::TleFc, Engines<Pq>::TleFc>();
+  run_deque_and_pq_concurrently<Engines<Dq>::Hcf, Engines<Pq>::Hcf>();
+  run_deque_and_pq_concurrently<Engines<Dq>::Hcf1C, Engines<Pq>::Hcf1C>();
 }
 
 }  // namespace

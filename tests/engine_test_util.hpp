@@ -50,19 +50,19 @@ struct EngineMaker<core::CoreLockEngine<DS, L>> {
   }
 };
 
-template <typename DS, typename L>
-struct EngineMaker<core::FcEngine<DS, L>> {
+template <typename DS, typename L, typename SL>
+struct EngineMaker<core::FcEngine<DS, L, SL>> {
   template <typename Cfg>
   static auto make(DS& ds, const Cfg&) {
-    return std::make_unique<core::FcEngine<DS, L>>(ds);
+    return std::make_unique<core::FcEngine<DS, L, SL>>(ds);
   }
 };
 
-template <typename DS, typename L>
-struct EngineMaker<core::TleFcEngine<DS, L>> {
+template <typename DS, typename L, typename SL>
+struct EngineMaker<core::TleFcEngine<DS, L, SL>> {
   template <typename Cfg>
   static auto make(DS& ds, const Cfg&) {
-    return std::make_unique<core::TleFcEngine<DS, L>>(ds);
+    return std::make_unique<core::TleFcEngine<DS, L, SL>>(ds);
   }
 };
 

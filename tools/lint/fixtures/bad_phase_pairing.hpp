@@ -1,0 +1,24 @@
+// lint:zone(core)
+// Known-bad phase telemetry: a phase_enter with no matching phase_exit
+// leaves a dangling begin (the Chrome exporter reports it as an orphan),
+// and a return between an enter and its exit drops the exit on that path.
+#pragma once
+#include "telemetry/telemetry.hpp"
+
+namespace fixture {
+
+inline void dangling_enter() {
+  hcf::telemetry::phase_enter(2);  // expect-lint: phase-telemetry-pairing
+  // ... work, but the author forgot the exit; the only exit below is for
+  // a different phase, so it does not pair.
+  hcf::telemetry::phase_exit(3, true);
+}
+
+inline int early_return(bool done) {
+  hcf::telemetry::phase_enter(0);  // expect-lint: phase-telemetry-pairing
+  if (done) return 0;  // leaves phase 0 open on this path
+  hcf::telemetry::phase_exit(0, false);
+  return -1;
+}
+
+}  // namespace fixture

@@ -1,0 +1,39 @@
+// lint:zone(core)
+// Known-good phase telemetry: every phase_enter is lexically paired with a
+// later phase_exit for the same phase expression, and no return sits
+// between the pair. Multiple exits for one enter (branchy completion) are
+// fine — the rule matches the first one with an equal phase argument.
+#pragma once
+#include "telemetry/telemetry.hpp"
+
+namespace fixture {
+
+inline int paired_phases(bool fast_path) {
+  hcf::telemetry::phase_enter(0);
+  const bool done = fast_path;
+  hcf::telemetry::phase_exit(0, done);
+  if (done) return 0;
+
+  hcf::telemetry::phase_enter(3);
+  hcf::telemetry::phase_exit(3, true);
+  return 3;
+}
+
+// Branchy shape: one enter, several exits, returns only after an exit.
+inline int branchy(bool a, bool b) {
+  hcf::telemetry::phase_enter(1);
+  if (a) {
+    hcf::telemetry::phase_exit(1, true);
+    return 1;
+  }
+  if (b) {
+    hcf::telemetry::phase_exit(1, false);
+    hcf::telemetry::phase_enter(3);
+    hcf::telemetry::phase_exit(3, true);
+    return 3;
+  }
+  hcf::telemetry::phase_exit(1, false);
+  return -1;
+}
+
+}  // namespace fixture

@@ -38,6 +38,14 @@ compiler dependency, by design):
                          the same line or in the comment block directly
                          above — the substrate runs on acquire/release,
                          and each seq_cst is a proof obligation
+  phase-telemetry-pairing
+                         in src/core/, every telemetry::phase_enter must
+                         be lexically paired with a later
+                         telemetry::phase_exit whose first argument is
+                         the same phase expression, with no `return`
+                         between them — an early return inside the pair
+                         leaves a dangling begin in the trace and the
+                         Chrome exporter reports it as an orphan
   scan-requires-selection-lock
                          publication-array scans (.for_each_announced /
                          .collect_announced calls) in src/ and tests/ must
@@ -131,6 +139,10 @@ SCAN_LOCK_WINDOW = 10  # raw lines above the call searched for an acquisition
 COMMENT_LINE_RE = re.compile(r"^\s*//")
 
 TELEMETRY_CALL_RE = re.compile(r"\btelemetry::\w+\s*\(")
+
+PHASE_ENTER_RE = re.compile(r"\btelemetry::phase_enter\s*\(")
+PHASE_EXIT_RE = re.compile(r"\btelemetry::phase_exit\s*\(")
+RETURN_RE = re.compile(r"\breturn\b")
 
 
 class Diagnostic:
@@ -365,6 +377,53 @@ class FileLinter:
                 "this scan safe (unlocked scans race clear_slot against "
                 "concurrent combiners)")
 
+    def first_call_arg(self, open_paren: int) -> str | None:
+        """First argument of the call whose '(' sits at `open_paren` in the
+        stripped text (text up to the first depth-1 comma or the matching
+        ')'), whitespace-normalized. None if the parens never close."""
+        depth = 0
+        for i in range(open_paren, len(self.stripped)):
+            c = self.stripped[i]
+            if c in "([{":
+                depth += 1
+            elif c in ")]}":
+                depth -= 1
+                if depth == 0:
+                    return re.sub(r"\s+", "",
+                                  self.stripped[open_paren + 1:i])
+            elif c == "," and depth == 1:
+                return re.sub(r"\s+", "", self.stripped[open_paren + 1:i])
+        return None
+
+    def check_phase_telemetry_pairing(self) -> None:
+        if self.zone != "core":
+            return
+        # (offset-of-'(', first-arg) for every phase_exit, in file order.
+        exits = []
+        for m in PHASE_EXIT_RE.finditer(self.stripped):
+            exits.append((m.start(), self.first_call_arg(m.end() - 1)))
+        for m in PHASE_ENTER_RE.finditer(self.stripped):
+            arg = self.first_call_arg(m.end() - 1)
+            line = self.line_of(m.start())
+            matched_at = -1
+            for start, exit_arg in exits:
+                if start > m.start() and exit_arg == arg:
+                    matched_at = start
+                    break
+            if matched_at < 0:
+                self.report(
+                    line, "phase-telemetry-pairing",
+                    f"phase_enter({arg}) has no later phase_exit for the "
+                    "same phase in this file; a dangling begin shows up "
+                    "as an orphan in the Chrome trace")
+                continue
+            if RETURN_RE.search(self.stripped[m.end():matched_at]):
+                self.report(
+                    line, "phase-telemetry-pairing",
+                    f"return between phase_enter({arg}) and its matching "
+                    "phase_exit; early exits must emit phase_exit first "
+                    "or hoist the return past the pair")
+
     def tx_bodies(self):
         """Yield (start_offset, end_offset) of every htm::attempt lambda
         body (offsets of '{' and its matching '}')."""
@@ -451,6 +510,7 @@ class FileLinter:
         self.check_raw_atomic_in_telemetry()
         self.check_seq_cst_justification()
         self.check_scan_requires_selection_lock()
+        self.check_phase_telemetry_pairing()
         self.check_tx_bodies()
         return self.diags
 
