@@ -29,6 +29,7 @@
 #include "sync/tx_lock.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/backoff.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/thread_id.hpp"
 
 namespace hcf::core {
@@ -65,7 +66,8 @@ struct CombineCore {
   //
   // Returns true with the selection lock held, or false once the op is
   // Done (helped by another combiner).
-  static bool acquire_selection_or_done(Op& op, PubArray& pa) {
+  static bool acquire_selection_or_done(Op& op, PubArray& pa)
+      TRY_ACQUIRE(true, pa.selection_lock()) {
     util::ProportionalWait waiter;
     std::uint64_t epoch = pa.combined_epoch();
     for (;;) {
@@ -95,7 +97,7 @@ struct CombineCore {
   // selection lock is held.
   template <bool MarkBeingHelped>
   static void select_batch(Op& op, PubArray& pa, std::vector<Op*>& out,
-                           EngineStats& stats) {
+                           EngineStats& stats) REQUIRES(pa.selection_lock()) {
     if constexpr (MarkBeingHelped) op.mark_being_helped();
     pa.clear_slot(util::this_thread_id());
     out.push_back(&op);
@@ -176,8 +178,17 @@ struct CombineCore {
   // data-structure lock (which plays the selection lock's role here) and
   // combines every announced operation under it, rescanning `scan_rounds`
   // times to pick up late arrivals.
-  static void combine_global(DS& ds, Op& own, PubArray& pa,
-                             EngineStats& stats, int scan_rounds) {
+  static void combine_global(Lock& lock, DS& ds, Op& own, PubArray& pa,
+                             EngineStats& stats, int scan_rounds)
+      REQUIRES(lock) {
+    assert(lock.is_locked() &&
+           "combine_global runs under the data-structure lock");
+    (void)lock;  // referenced by the REQUIRES attribute and the assert only
+    // The data-structure lock held per REQUIRES serializes us against every
+    // would-be scanner (nothing scans a global-lock engine's array without
+    // this lock), so the selection capability is legitimately ours even
+    // though pa.selection_lock() itself stays free.
+    pa.assume_scan_serialized();
     stats.combiner_sessions.add();
     std::vector<Op*>& batch = scratch();
     for (int round = 0; round < scan_rounds; ++round) {

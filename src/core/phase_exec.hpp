@@ -51,6 +51,7 @@
 #include "sync/tx_lock.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/backoff.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/thread_id.hpp"
 
 namespace hcf::core {
@@ -374,12 +375,21 @@ class PhaseMachine {
     // has been applied, speculatively or under the lock.
     if (session_ops != 0) telemetry::combine_end(session_ops);
     if constexpr (kMode == CombinerMode::SingleHolder) {
-      if (holding_selection) {
-        pa.selection_lock().unlock();
-        telemetry::sel_lock_released();
-      }
+      release_selection_if_held(pa, holding_selection);
     }
     return op.completed_phase();
+  }
+
+  // tsa: counterpart of try_combining's deferred release — whether the
+  // selection lock is held here depends on the runtime `holding` flag set
+  // two frames down, a protocol shape outside TSA's block-scoped model.
+  // SingleHolder-only; Multi releases inside try_combining itself.
+  NO_THREAD_SAFETY_ANALYSIS
+  void release_selection_if_held(PubArray& pa, bool holding) {
+    if (holding) {
+      pa.selection_lock().unlock();
+      telemetry::sel_lock_released();
+    }
   }
 
   // ---- Phase 3 -------------------------------------------------------
@@ -388,6 +398,16 @@ class PhaseMachine {
   // exactly this asymmetry) — remaining selected ops still must be run.
   // In SingleHolder mode a successful selection sets `holding_selection`;
   // the caller releases the selection lock after the under-lock fallback.
+  //
+  // tsa: the selection lock's lifetime here is conditional on runtime state
+  // (acquired iff policy.announce and not already Done; released before
+  // returning in Multi mode but retained across the return in SingleHolder,
+  // signalled through `holding_selection`). TSA requires every path of a
+  // function to agree on the held set, so this juggling function opts out;
+  // the scan discipline it brokers stays compiler-checked inside
+  // CombineCore (select_batch REQUIRES the selection lock) and
+  // PublicationArray.
+  NO_THREAD_SAFETY_ANALYSIS
   bool try_combining(Op& op, PubArray& pa, const PhasePolicy& policy,
                      std::vector<Op*>& ops_to_help, std::size_t& session_ops,
                      bool& holding_selection) {
@@ -454,7 +474,7 @@ class PhaseMachine {
       if (lock_.try_lock()) {
         telemetry::phase_exit(static_cast<int>(Phase::Visible), false);
         telemetry::phase_enter(static_cast<int>(Phase::UnderLock));
-        Core::combine_global(ds_, op, pa, stats_, scan_rounds_);
+        Core::combine_global(lock_, ds_, op, pa, stats_, scan_rounds_);
         lock_.unlock();
         telemetry::phase_exit(static_cast<int>(Phase::UnderLock), true);
         // The combiner always executes its own announced operation.

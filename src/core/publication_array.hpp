@@ -36,6 +36,7 @@
 #include "sim_htm/txcell.hpp"
 #include "sync/tx_lock.hpp"
 #include "util/cacheline.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/thread_id.hpp"
 
 namespace hcf::core {
@@ -83,10 +84,19 @@ class PublicationArray {
   }
 
   // Combiner-side removal of any slot; caller must hold the selection lock.
-  void clear_slot(std::size_t slot) noexcept {
+  void clear_slot(std::size_t slot) noexcept REQUIRES(selection_lock_) {
     slots_[slot].value.store(nullptr);
     clear_bit(slot);
   }
+
+  // Re-states the selection capability where scans are serialized by means
+  // TSA cannot see: flat-combining engines scan under the data-structure
+  // lock (which plays the selection lock's role, DESIGN.md §10), and the
+  // internal scan lambda below cannot inherit its enclosing function's
+  // capability set. Callers take on the proof obligation the annotation
+  // normally discharges — every call site must say why the scan is
+  // serialized.
+  void assume_scan_serialized() const ASSERT_CAPABILITY(selection_lock_) {}
 
   // Combiner-side scan; caller must hold the selection lock. Calls
   // f(op, slot_index) for every non-empty hinted slot; empty hinted slots
@@ -94,7 +104,7 @@ class PublicationArray {
   // Returns the number of occupancy words skipped because no slot in them
   // was hinted (the scan-cost signal behind EngineStats::scan_words_skipped).
   template <typename F>
-  std::size_t for_each_announced(F&& f) {
+  std::size_t for_each_announced(F&& f) REQUIRES(selection_lock_) {
     std::size_t words_skipped = 0;
     for (std::size_t w = 0; w < kOccupancyWords; ++w) {
       std::uint64_t word =
@@ -123,9 +133,13 @@ class PublicationArray {
   // `out` — selection must not allocate.
   // Returns the number of occupancy words the scan skipped.
   template <typename Select>
-  std::size_t collect_announced(std::vector<Op*>& out, Select&& select) {
-    // scan-locked: precondition documented above; enforced at call sites.
+  std::size_t collect_announced(std::vector<Op*>& out, Select&& select)
+      REQUIRES(selection_lock_) {
+    // scan-locked: precondition annotated above; enforced at call sites.
     return for_each_announced([&](Op* op, std::size_t slot) {
+      // TSA analyzes lambdas as separate functions with an empty capability
+      // set; re-state the enclosing REQUIRES for the clear_slot call.
+      assume_scan_serialized();
       if (select(op)) {
         clear_slot(slot);
         out.push_back(op);
@@ -157,8 +171,11 @@ class PublicationArray {
     combined_epoch_.value.fetch_add(retired, std::memory_order_release);
   }
 
-  SelectionLock& selection_lock() noexcept { return selection_lock_; }
-  const SelectionLock& selection_lock() const noexcept {
+  SelectionLock& selection_lock() noexcept RETURN_CAPABILITY(selection_lock_) {
+    return selection_lock_;
+  }
+  const SelectionLock& selection_lock() const noexcept
+      RETURN_CAPABILITY(selection_lock_) {
     return selection_lock_;
   }
 

@@ -13,10 +13,11 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
+#include "sync/spinlock.hpp"
 #include "util/cacheline.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/thread_id.hpp"
 
 namespace hcf::mem {
@@ -37,7 +38,11 @@ struct RetiredNode {
 
 }  // namespace detail
 
-class EbrDomain {
+// The domain itself is a shared capability: holding it (via enter/exit or
+// the RAII Guard) is the read-side critical section that keeps retired
+// nodes alive. drain() EXCLUDES it — draining from inside a guard would
+// wait on the caller's own reservation.
+class CAPABILITY("ebr.domain") EbrDomain {
  public:
   static EbrDomain& instance() noexcept {
     static EbrDomain dom;
@@ -45,7 +50,7 @@ class EbrDomain {
   }
 
   // Marks the calling thread as inside a read-side critical section.
-  void enter() noexcept {
+  void enter() noexcept ACQUIRE_SHARED() {
     auto& r = slot();
     if (r.depth++ > 0) return;
     // Announce the current epoch; seq_cst so that retirers scanning
@@ -60,7 +65,7 @@ class EbrDomain {
                   std::memory_order_seq_cst);
   }
 
-  void exit() noexcept {
+  void exit() noexcept RELEASE_SHARED() {
     auto& r = slot();
     if (--r.depth > 0) return;
     r.active.store(false, std::memory_order_release);
@@ -84,7 +89,7 @@ class EbrDomain {
   // Test/shutdown hook: advance epochs and free everything that becomes
   // safe. Must be called outside any guard with no concurrent guards for a
   // full drain.
-  void drain() {
+  void drain() EXCLUDES(this) {
     auto& limbo = limbo_list();
     for (int i = 0; i < 4 && !(limbo.empty() && orphans_empty()); ++i) {
       try_advance();
@@ -114,7 +119,7 @@ class EbrDomain {
     ~LimboList() {
       if (!empty()) {
         auto& dom = EbrDomain::instance();
-        std::scoped_lock lk(dom.orphan_mutex_);
+        sync::SpinGuard lk(dom.orphan_lock_);
         dom.orphans_.insert(dom.orphans_.end(), begin(), end());
       }
     }
@@ -146,7 +151,7 @@ class EbrDomain {
     free_safe(limbo, g);
     // Opportunistically reclaim orphans from exited threads.
     if (!orphans_empty()) {
-      std::scoped_lock lk(orphan_mutex_);
+      sync::SpinGuard lk(orphan_lock_);
       free_safe(orphans_, g);
     }
   }
@@ -165,21 +170,25 @@ class EbrDomain {
   }
 
   bool orphans_empty() {
-    std::scoped_lock lk(orphan_mutex_);
+    sync::SpinGuard lk(orphan_lock_);
     return orphans_.empty();
   }
 
   std::atomic<std::uint64_t> global_epoch_{0};
   util::CacheAligned<detail::Reservation> reservations_[util::kMaxThreads];
-  std::mutex orphan_mutex_;
-  std::vector<detail::RetiredNode> orphans_;
+  // An annotated SpinLock rather than std::mutex: libstdc++'s mutex carries
+  // no capability attributes, so GUARDED_BY would be unenforceable.
+  sync::SpinLock orphan_lock_;
+  std::vector<detail::RetiredNode> orphans_ GUARDED_BY(orphan_lock_);
 };
 
 // RAII read-side critical section.
-class Guard {
+class SCOPED_CAPABILITY Guard {
  public:
-  Guard() noexcept { EbrDomain::instance().enter(); }
-  ~Guard() { EbrDomain::instance().exit(); }
+  Guard() noexcept ACQUIRE_SHARED(EbrDomain::instance()) {
+    EbrDomain::instance().enter();
+  }
+  ~Guard() RELEASE() { EbrDomain::instance().exit(); }
   Guard(const Guard&) = delete;
   Guard& operator=(const Guard&) = delete;
 };

@@ -319,6 +319,11 @@ void abort_cleanup(Txn& t, AbortCode code) noexcept {
   telemetry::htm_abort(static_cast<int>(code));
 }
 
+StrongOrecCap& strong_orec_cap() noexcept {
+  static StrongOrecCap cap;
+  return cap;
+}
+
 std::uint64_t strong_lock_orec(std::atomic<std::uint64_t>& orec) noexcept {
   // Uncontended fast path: one load, one CAS, no backoff state.
   std::uint64_t cur = orec.load(std::memory_order_acquire);

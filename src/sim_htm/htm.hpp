@@ -63,6 +63,7 @@
 #include "sim_htm/tsan.hpp"
 #include "util/cacheline.hpp"
 #include "util/rng.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/thread_id.hpp"
 
 namespace hcf::htm {
@@ -481,11 +482,22 @@ void retire(T* p) {
 // transactions abort.
 
 namespace detail {
+
+// Annotation-only capability standing for "this thread holds some orec in
+// strong (kStrongTag) mode". The strong path locks exactly one orec at a
+// time, so one process-wide capability object suffices to prove every
+// strong_lock_orec is paired with its strong_unlock_orec on all paths.
+// (Commit write-back acquires a variable *set* of orecs and is tracked by
+// its own acquired-count bookkeeping, not by TSA.)
+class CAPABILITY("htm.strong_orec") StrongOrecCap {};
+StrongOrecCap& strong_orec_cap() noexcept;
+
 // Spins (with randomized exponential backoff) until the orec is unlocked
 // and returns the (even) version word after locking it with kStrongTag.
-std::uint64_t strong_lock_orec(std::atomic<std::uint64_t>& orec) noexcept;
+std::uint64_t strong_lock_orec(std::atomic<std::uint64_t>& orec) noexcept
+    ACQUIRE(strong_orec_cap());
 void strong_unlock_orec(std::atomic<std::uint64_t>& orec, std::uint64_t ver,
-                        bool bump) noexcept;
+                        bool bump) noexcept RELEASE(strong_orec_cap());
 }  // namespace detail
 
 template <detail::TxValue T>

@@ -1,34 +1,39 @@
 // Plain test-and-test-and-set spinlock with exponential backoff.
-// Used where elision is *not* wanted: the SCM auxiliary lock (Afek et al.)
-// and internal bookkeeping. Not subscribable by transactions.
+// Used where elision is *not* wanted: the SCM auxiliary lock (Afek et al.),
+// the EBR orphan list, and internal bookkeeping. Not subscribable by
+// transactions.
 #pragma once
 
 #include <atomic>
 
 #include "util/backoff.hpp"
 #include "util/cacheline.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace hcf::sync {
 
-class SpinLock {
+class CAPABILITY("spinlock") SpinLock {
  public:
   SpinLock() = default;
   SpinLock(const SpinLock&) = delete;
   SpinLock& operator=(const SpinLock&) = delete;
 
-  void lock() noexcept {
+  void lock() noexcept ACQUIRE() {
     util::SpinWait waiter;
-    while (!try_lock()) {
+    for (;;) {
+      if (try_lock()) return;
       while (locked_.load(std::memory_order_relaxed)) waiter.wait();
     }
   }
 
-  bool try_lock() noexcept {
+  bool try_lock() noexcept TRY_ACQUIRE(true) {
     return !locked_.load(std::memory_order_relaxed) &&
            !locked_.exchange(true, std::memory_order_acquire);
   }
 
-  void unlock() noexcept { locked_.store(false, std::memory_order_release); }
+  void unlock() noexcept RELEASE() {
+    locked_.store(false, std::memory_order_release);
+  }
 
   bool is_locked() const noexcept {
     return locked_.load(std::memory_order_acquire);
@@ -36,6 +41,21 @@ class SpinLock {
 
  private:
   alignas(util::kCacheLineSize) std::atomic<bool> locked_{false};
+};
+
+// RAII guard for SpinLock (sync::LockGuard is constrained to ElidableLock,
+// which SpinLock deliberately is not).
+class SCOPED_CAPABILITY SpinGuard {
+ public:
+  explicit SpinGuard(SpinLock& lock) noexcept ACQUIRE(lock) : lock_(lock) {
+    lock_.lock();
+  }
+  ~SpinGuard() RELEASE() { lock_.unlock(); }
+  SpinGuard(const SpinGuard&) = delete;
+  SpinGuard& operator=(const SpinGuard&) = delete;
+
+ private:
+  SpinLock& lock_;
 };
 
 }  // namespace hcf::sync

@@ -18,6 +18,7 @@
 #include "util/backoff.hpp"
 #include "util/cacheline.hpp"
 #include "util/counters.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/thread_id.hpp"
 
 namespace hcf::sync {
@@ -32,22 +33,23 @@ concept ElidableLock = requires(L l, const L cl) {
   cl.wait_until_free();
 };
 
-class TxLock {
+class CAPABILITY("elidable_lock") TxLock {
  public:
   TxLock() = default;
   TxLock(const TxLock&) = delete;
   TxLock& operator=(const TxLock&) = delete;
 
-  void lock() noexcept {
+  void lock() noexcept ACQUIRE() {
     util::ExpBackoff backoff(
         util::backoff_seed(util::BackoffSite::kLockAcquire));
-    while (!try_lock()) {
+    for (;;) {
+      if (try_lock()) return;
       wait_until_free();  // spin-then-yield; survives oversubscription
       backoff.pause();    // jitter so waiters don't re-CAS in lockstep
     }
   }
 
-  bool try_lock() noexcept {
+  bool try_lock() noexcept TRY_ACQUIRE(true) {
     if (word_.load() != 0) return false;
     if (!word_.cas(0, owner_word())) return false;
     acquisitions_.add();
@@ -58,7 +60,7 @@ class TxLock {
     return true;
   }
 
-  void unlock() noexcept {
+  void unlock() noexcept RELEASE() {
     htm::protocol::note_lock_released();
     word_.store(0);
   }
@@ -68,7 +70,10 @@ class TxLock {
 
   // Inside a transaction: joins the lock word to the read set and aborts
   // immediately if the lock is held (the paper's `if (L.isLocked()) abortHT`).
-  void subscribe() const {
+  // To TSA a successful subscription is the shared (reader) right: the
+  // transaction either commits having observed no holder, or aborts — it
+  // can never see a holder's partial state.
+  void subscribe() const ASSERT_SHARED_CAPABILITY(this) {
     htm::note_lock_subscription();
     if (word_.read() != 0) htm::abort_tx(htm::AbortCode::LockBusy);
   }
@@ -95,13 +100,13 @@ class TxLock {
   util::Counter acquisitions_;
 };
 
-class FairTxLock {
+class CAPABILITY("elidable_lock") FairTxLock {
  public:
   FairTxLock() = default;
   FairTxLock(const FairTxLock&) = delete;
   FairTxLock& operator=(const FairTxLock&) = delete;
 
-  void lock() noexcept {
+  void lock() noexcept ACQUIRE() {
     const std::uint64_t ticket =
         next_.fetch_add(1, std::memory_order_acq_rel);
     util::SpinWait waiter;
@@ -114,7 +119,7 @@ class FairTxLock {
     htm::wait_writeback_drain();
   }
 
-  bool try_lock() noexcept {
+  bool try_lock() noexcept TRY_ACQUIRE(true) {
     std::uint64_t ticket = serving_.load(std::memory_order_acquire);
     if (next_.load(std::memory_order_acquire) != ticket) return false;
     if (!next_.compare_exchange_strong(ticket, ticket + 1,
@@ -128,7 +133,7 @@ class FairTxLock {
     return true;
   }
 
-  void unlock() noexcept {
+  void unlock() noexcept RELEASE() {
     htm::protocol::note_lock_released();
     held_.store(0);
     serving_.fetch_add(1, std::memory_order_acq_rel);
@@ -136,7 +141,7 @@ class FairTxLock {
 
   bool is_locked() const noexcept { return held_.load() != 0; }
 
-  void subscribe() const {
+  void subscribe() const ASSERT_SHARED_CAPABILITY(this) {
     htm::note_lock_subscription();
     if (held_.read() != 0) htm::abort_tx(htm::AbortCode::LockBusy);
   }
@@ -170,10 +175,12 @@ static_assert(ElidableLock<FairTxLock>);
 
 // RAII guard compatible with both.
 template <ElidableLock L>
-class LockGuard {
+class SCOPED_CAPABILITY LockGuard {
  public:
-  explicit LockGuard(L& lock) noexcept : lock_(lock) { lock_.lock(); }
-  ~LockGuard() { lock_.unlock(); }
+  explicit LockGuard(L& lock) noexcept ACQUIRE(lock) : lock_(lock) {
+    lock_.lock();
+  }
+  ~LockGuard() RELEASE() { lock_.unlock(); }
   LockGuard(const LockGuard&) = delete;
   LockGuard& operator=(const LockGuard&) = delete;
 

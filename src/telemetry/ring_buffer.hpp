@@ -23,6 +23,7 @@
 
 #include "telemetry/event.hpp"
 #include "util/cacheline.hpp"
+#include "util/thread_annotations.hpp"
 
 // TSan does not model std::atomic_thread_fence (-Wtsan); snapshot() swaps
 // its fence for an acquire reload under that sanitizer (see below).
@@ -44,16 +45,29 @@ inline constexpr std::size_t kRingCapacityLog2 = HCF_TELEMETRY_RING_LOG2;
 inline constexpr std::size_t kRingCapacityLog2 = 12;
 #endif
 
+// The ring is a capability: its writer side (push/clear) REQUIRES it, and
+// the only sanctioned way to obtain it is assume_writer() — an assertion
+// that the calling thread owns this ring (each ring belongs to one dense
+// thread id; telemetry.hpp's record() is the single production call site).
+// Thread identity is invisible to TSA, so the assertion is the boundary:
+// any new push/clear call that has not vouched for writer ownership fails
+// the -Wthread-safety build. Readers (snapshot/pushed/dropped) stay
+// capability-free — they are wait-free against a live writer by design.
 template <std::size_t CapacityLog2 = kRingCapacityLog2>
-class EventRing {
+class CAPABILITY("telemetry.ring") EventRing {
  public:
   static constexpr std::size_t kCapacity = std::size_t{1} << CapacityLog2;
   static constexpr std::size_t kMask = kCapacity - 1;
 
+  // Claims writer ownership of this ring for the calling thread. Call
+  // sites take on the proof obligation: either the ring is the caller's
+  // own per-thread ring, or every writer is quiesced (reset paths).
+  void assume_writer() const noexcept ASSERT_CAPABILITY(this) {}
+
   // Single-writer append. Publishes via the slot's sequence word: readers
   // accept a slot only when they observe the same even "complete at index
   // h" value before and after copying the payload.
-  void push(const Event& e) noexcept {
+  void push(const Event& e) noexcept REQUIRES(this) {
     const std::uint64_t h = head_.load(std::memory_order_relaxed);
     Slot& s = slots_[h & kMask];
     s.seq.store(seq_busy(h), std::memory_order_relaxed);
@@ -101,7 +115,7 @@ class EventRing {
     }
   }
 
-  void clear() noexcept {
+  void clear() noexcept REQUIRES(this) {
     // Writer-side reset (tests / between measurement intervals; callers
     // must quiesce the owning thread first).
     for (auto& s : slots_) s.seq.store(0, std::memory_order_relaxed);

@@ -130,7 +130,12 @@ class Domain {
 
   // Test/bench hook: callers must quiesce recording threads first.
   void reset() noexcept {
-    for (auto& r : rings_) r.value.clear();
+    for (auto& r : rings_) {
+      // Writer ownership: reset()'s contract quiesces every recording
+      // thread, so claiming each ring's writer capability here is sound.
+      r.value.assume_writer();
+      r.value.clear();
+    }
     latency_.reset();
   }
 
@@ -155,7 +160,11 @@ inline void record(EventType type, std::uint8_t code = 0,
   e.type = type;
   e.code = code;
   e.arg = arg;
-  d.ring(util::this_thread_id()).push(e);
+  auto& ring = d.ring(util::this_thread_id());
+  // Writer ownership: rings are indexed by dense thread id, so the ring
+  // selected above belongs to the calling thread by construction.
+  ring.assume_writer();
+  ring.push(e);
 }
 
 // True on the sampled subset of operations (drivers wrap those in clock

@@ -1,0 +1,74 @@
+// Clang Thread Safety Analysis (TSA) annotation macros.
+//
+// The HCF correctness argument rests on lock discipline: operations run
+// either under the data-structure lock, under lock *subscription* inside a
+// transaction, or under the selection lock that grants combiner rights over
+// a publication array (DESIGN.md; docs/static_analysis.md maps each
+// capability to the invariant it enforces). These macros make the
+// discipline compiler-checked: a clang build with
+//
+//   -Wthread-safety -Werror=thread-safety-analysis
+//
+// (the `clang-tsa` preset / HCF_TSA=ON) proves REQUIRES/ACQUIRE/RELEASE
+// obligations on every call path. Under GCC every macro expands to nothing,
+// so non-clang builds are byte-for-byte unaffected.
+//
+// Conventions in this tree:
+//   * Lock types (sync::SpinLock, sync::TxLock, sync::FairTxLock) are
+//     CAPABILITY classes; distinct lock *objects* are distinct capabilities,
+//     which is how the data lock and the selection lock stay separate even
+//     though both are TxLock instances.
+//   * subscribe() is ASSERT_SHARED_CAPABILITY: inside a transaction a
+//     subscription confers the shared (reader) right — the transaction
+//     aborts before it can observe a lock holder's partial state.
+//   * NO_THREAD_SAFETY_ANALYSIS is reserved for protocol shapes TSA cannot
+//     express (conditional lock retention across function boundaries).
+//     Every use must carry an adjacent '// tsa:' justification comment —
+//     enforced by tools/lint/hcf_lint.py, rule tsa-escape-justification.
+#pragma once
+
+#if defined(__clang__) && !defined(HCF_NO_THREAD_SAFETY_ANNOTATIONS)
+#define HCF_TSA_ATTR(x) __attribute__((x))
+#else
+#define HCF_TSA_ATTR(x)  // no-op off clang
+#endif
+
+// A type whose instances are lockable capabilities (mutexes, roles).
+#define CAPABILITY(x) HCF_TSA_ATTR(capability(x))
+
+// RAII type that acquires a capability in its constructor and releases it
+// in its destructor.
+#define SCOPED_CAPABILITY HCF_TSA_ATTR(scoped_lockable)
+
+// Data member readable/writable only while holding the given capability.
+#define GUARDED_BY(x) HCF_TSA_ATTR(guarded_by(x))
+#define PT_GUARDED_BY(x) HCF_TSA_ATTR(pt_guarded_by(x))
+
+// Function-level capability obligations.
+#define REQUIRES(...) HCF_TSA_ATTR(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  HCF_TSA_ATTR(requires_shared_capability(__VA_ARGS__))
+#define ACQUIRE(...) HCF_TSA_ATTR(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) HCF_TSA_ATTR(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) HCF_TSA_ATTR(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) HCF_TSA_ATTR(release_shared_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) HCF_TSA_ATTR(try_acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(...) \
+  HCF_TSA_ATTR(try_acquire_shared_capability(__VA_ARGS__))
+
+// Caller must NOT hold the capability (anti-deadlock / blocking-wait
+// preconditions, e.g. EbrDomain::drain must run outside any guard).
+#define EXCLUDES(...) HCF_TSA_ATTR(locks_excluded(__VA_ARGS__))
+
+// Re-states a capability the analysis cannot see being acquired (thread
+// identity, protocol-level serialization). The function body is expected to
+// verify — or document — the claim; callers gain the capability afterwards.
+#define ASSERT_CAPABILITY(x) HCF_TSA_ATTR(assert_capability(x))
+#define ASSERT_SHARED_CAPABILITY(x) HCF_TSA_ATTR(assert_shared_capability(x))
+
+// Accessor returning a reference to a capability (lets attribute
+// expressions at call sites canonicalize through the accessor).
+#define RETURN_CAPABILITY(x) HCF_TSA_ATTR(lock_returned(x))
+
+// Last resort; see header comment for the justification requirement.
+#define NO_THREAD_SAFETY_ANALYSIS HCF_TSA_ATTR(no_thread_safety_analysis)

@@ -40,15 +40,22 @@ TYPED_TEST(ElidableLockTest, MutualExclusionCounter) {
 }
 
 TYPED_TEST(ElidableLockTest, TryLockRespectsHolder) {
+  // try_lock results feed plain `if`s rather than EXPECT_* so the
+  // thread-safety analysis can see which branch holds the lock.
   TypeParam lock;
   EXPECT_FALSE(lock.is_locked());
-  EXPECT_TRUE(lock.try_lock());
+  if (!lock.try_lock()) FAIL() << "try_lock on a free lock must succeed";
   EXPECT_TRUE(lock.is_locked());
-  std::thread t([&] { EXPECT_FALSE(lock.try_lock()); });
+  std::thread t([&] {
+    if (lock.try_lock()) {
+      ADD_FAILURE() << "try_lock must fail while another thread holds it";
+      lock.unlock();
+    }
+  });
   t.join();
   lock.unlock();
   EXPECT_FALSE(lock.is_locked());
-  EXPECT_TRUE(lock.try_lock());
+  if (!lock.try_lock()) FAIL() << "try_lock after unlock must succeed";
   lock.unlock();
 }
 
@@ -128,7 +135,11 @@ TEST(SpinLock, MutualExclusion) {
   EXPECT_EQ(counter, static_cast<std::uint64_t>(kThreads) * kIters);
 }
 
-TEST(SpinLock, TryLock) {
+// tsa: deliberately re-try-locks a lock this thread already holds — the
+// exact misuse the analysis exists to reject — to pin down the failure
+// return path of try_lock.
+NO_THREAD_SAFETY_ANALYSIS
+void spinlock_try_lock_roundtrip() {
   SpinLock lock;
   EXPECT_TRUE(lock.try_lock());
   EXPECT_FALSE(lock.try_lock());
@@ -136,6 +147,8 @@ TEST(SpinLock, TryLock) {
   EXPECT_TRUE(lock.try_lock());
   lock.unlock();
 }
+
+TEST(SpinLock, TryLock) { spinlock_try_lock_roundtrip(); }
 
 TEST(TxLock, AcquisitionCountResets) {
   TxLock lock;

@@ -31,7 +31,9 @@ TEST(PublicationArray, AddPeekClear) {
   EXPECT_EQ(pa.peek(self), nullptr);
   pa.add(&op);
   EXPECT_EQ(pa.peek(self), &op);
+  pa.selection_lock().lock();
   pa.clear_slot(self);
+  pa.selection_lock().unlock();
   EXPECT_EQ(pa.peek(self), nullptr);
 }
 

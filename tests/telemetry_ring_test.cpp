@@ -47,6 +47,7 @@ TEST(TelemetryRing, EmptySnapshot) {
 
 TEST(TelemetryRing, RetainsInOrderBelowCapacity) {
   telemetry::EventRing<4> ring;  // capacity 16
+  ring.assume_writer();  // single-threaded test: this thread is the writer
   for (std::uint32_t i = 0; i < 10; ++i) {
     ring.push(make_event(i, EventType::PhaseEnter, 0, i));
   }
@@ -59,6 +60,7 @@ TEST(TelemetryRing, RetainsInOrderBelowCapacity) {
 
 TEST(TelemetryRing, WrapAroundKeepsNewestAndCountsDrops) {
   telemetry::EventRing<4> ring;  // capacity 16
+  ring.assume_writer();  // single-threaded test: this thread is the writer
   constexpr std::uint32_t kTotal = 40;
   for (std::uint32_t i = 0; i < kTotal; ++i) {
     ring.push(make_event(i, EventType::PhaseEnter, 0, i));
@@ -77,6 +79,7 @@ TEST(TelemetryRing, WrapAroundKeepsNewestAndCountsDrops) {
 
 TEST(TelemetryRing, ClearResets) {
   telemetry::EventRing<4> ring;
+  ring.assume_writer();  // single-threaded test: this thread is the writer
   for (std::uint32_t i = 0; i < 20; ++i) {
     ring.push(make_event(i, EventType::PhaseEnter, 0, i));
   }
@@ -99,6 +102,7 @@ TEST(TelemetryRing, SnapshotIsConsistentUnderConcurrentWriter) {
   telemetry::EventRing<6> ring;  // capacity 64: wraps constantly
   std::atomic<bool> stop{false};
   std::thread writer([&] {
+    ring.assume_writer();  // only this thread ever pushes
     std::uint32_t i = 0;
     while (!stop.load(std::memory_order_relaxed)) {
       ring.push(make_event(i, EventType::OpLatency, 7, i));

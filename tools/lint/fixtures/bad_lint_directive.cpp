@@ -1,0 +1,8 @@
+// Known-bad: suppression directives naming rules this linter does not
+// have. A typo'd suppression used to fail silently open — the directive
+// matched nothing and the misspelled rule kept firing elsewhere with the
+// author believing it was handled.
+
+void typod_line_directive() {}  // lint:allow(tx-strong-opp) expect-lint: lint-directive
+
+// lint:allow-file(no-such-rule) expect-lint: lint-directive

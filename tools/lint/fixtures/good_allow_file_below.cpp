@@ -1,0 +1,19 @@
+// lint:zone(core)
+// Known-good: lint:allow-file directives are position-independent and
+// accept comma-separated rule lists. The violations here sit ABOVE the
+// directive at the bottom of the file and must still be suppressed — the
+// directive pre-pass scans the whole file before any rule runs.
+#include <atomic>
+
+#include "sim_htm/htm.hpp"
+
+struct EngineState {
+  std::atomic<int> counter{0};  // raw-atomic-in-core if unsuppressed
+};
+
+inline void bump(std::atomic<int>& word) {
+  hcf::htm::strong_fetch_add(word, 1);  // strong-outside-sim-htm likewise
+}
+
+// One directive, two rules, below both violations:
+// lint:allow-file(raw-atomic-in-core, strong-outside-sim-htm)

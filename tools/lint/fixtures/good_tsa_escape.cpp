@@ -1,0 +1,13 @@
+// Known-good: NO_THREAD_SAFETY_ANALYSIS escapes carrying '// tsa:'
+// justifications, plus the macro's own preprocessor plumbing (exempt: a
+// #define is not an escape site).
+#include "util/thread_annotations.hpp"
+
+// tsa: deliberate double entry — depth-counted reentrant guards are a
+// shape the non-reentrant capability model cannot express.
+NO_THREAD_SAFETY_ANALYSIS
+void justified_by_comment_block_above() {}
+
+void justified_same_line() NO_THREAD_SAFETY_ANALYSIS {}  // tsa: example
+
+#define LOCAL_TSA_ALIAS NO_THREAD_SAFETY_ANALYSIS

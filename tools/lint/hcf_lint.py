@@ -56,31 +56,79 @@ compiler dependency, by design):
                          .lock()/.try_lock() or a LockGuard) within the 10
                          preceding lines — an unlocked scan races
                          clear_slot against concurrent combiners
+  tsa-escape-justification
+                         every NO_THREAD_SAFETY_ANALYSIS escape from the
+                         Clang thread-safety analysis must carry a
+                         '// tsa:' justification comment on the same line
+                         or in the comment block directly above; the
+                         macro's own preprocessor definition is exempt
+  lint-directive         a lint:allow / lint:allow-file directive names a
+                         rule this linter does not have (typo'd
+                         suppressions otherwise fail silently open)
 
 Suppressions (for deliberate violations, e.g. negative tests):
-  // lint:allow(rule-id)       — suppress rule-id on this line
-  // lint:allow-file(rule-id)  — suppress rule-id in this file
-  // lint:zone(core)           — override the path-derived zone (fixtures)
-  // lint:telemetry-core       — marks the telemetry atomic core (exempts
-                                 the file from raw-atomic-in-telemetry)
+  // lint:allow(rule-id)        — suppress rule-id on this line
+  // lint:allow-file(rule-id)   — suppress rule-id anywhere in this file
+                                  (position-independent: the directive may
+                                  sit above or below the violation)
+  // lint:allow(rule-a, rule-b) — both directives accept a comma-separated
+                                  rule list
+  // lint:zone(core)            — override the path-derived zone (fixtures)
+  // lint:telemetry-core        — marks the telemetry atomic core (exempts
+                                  the file from raw-atomic-in-telemetry)
 
-Diagnostics are 'file:line: [rule-id] message'; exit status is non-zero iff
-any diagnostic was emitted. Lexical limits: the transaction-body rules see
-only the text of the lambda itself, not functions it calls.
+Diagnostics are 'file:line: [rule-id] message' (or a JSON array with
+--format=json); exit status is non-zero iff any diagnostic was emitted.
+Lexical limits: the transaction-body rules see only the text of the lambda
+itself, not functions it calls — tools/lint/hcf_semalint.py covers the
+cross-function half of these invariants when libclang is available.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import re
 import sys
 
+# Rule registry: id -> one-line description (--list-rules; directive
+# validation). The module docstring above carries the long-form rationale.
+RULES: dict[str, str] = {
+    "pragma-once": "headers must start with #pragma once",
+    "include-parent": "no '..' segments in quoted includes",
+    "strong-outside-sim-htm":
+        "htm::strong_* calls are confined to src/sim_htm/",
+    "raw-atomic-in-core":
+        "no raw std::atomic engine state; shared words go through TxCell",
+    "raw-atomic-in-telemetry":
+        "telemetry atomics are confined to the lint:telemetry-core file",
+    "tx-blocking-call": "no blocking/waiting calls in a transaction body",
+    "tx-catch-all": "no catch (...) without rethrow in a transaction body",
+    "tx-strong-op": "no strong mutations in a transaction body",
+    "tx-subscribe-first":
+        "engine transaction bodies subscribe to the lock first",
+    "tx-telemetry-call": "no telemetry:: calls in a transaction body",
+    "seq-cst-justification":
+        "memory_order_seq_cst in src/sim_htm/ needs a '// seq_cst:' comment",
+    "phase-telemetry-pairing":
+        "phase_enter needs a matching phase_exit with no return between",
+    "scan-requires-selection-lock":
+        "publication-array scans need visible selection-lock serialization",
+    "tsa-escape-justification":
+        "NO_THREAD_SAFETY_ANALYSIS needs an adjacent '// tsa:' comment",
+    "lint-directive":
+        "suppression directives must name rules that actually exist",
+}
+
 HEADER_EXTS = {".hpp", ".h", ".hh", ".hxx"}
 SOURCE_EXTS = HEADER_EXTS | {".cpp", ".cc", ".cxx"}
 
-ALLOW_LINE_RE = re.compile(r"lint:allow\(([a-z0-9-]+)\)")
-ALLOW_FILE_RE = re.compile(r"lint:allow-file\(([a-z0-9-]+)\)")
+# Directive arguments are captured whole and split on commas below, so
+# `lint:allow(rule-a, rule-b)` suppresses both rules. (A char-class-only
+# capture used to stop at the first comma and silently ignore the rest.)
+ALLOW_LINE_RE = re.compile(r"lint:allow\(([^)]*)\)")
+ALLOW_FILE_RE = re.compile(r"lint:allow-file\(([^)]*)\)")
 ZONE_RE = re.compile(
     r"lint:zone\((sim_htm|core|telemetry|src|tests|other)\)")
 TELEMETRY_CORE_RE = re.compile(r"lint:telemetry-core")
@@ -139,6 +187,9 @@ SCAN_LOCK_WINDOW = 10  # raw lines above the call searched for an acquisition
 COMMENT_LINE_RE = re.compile(r"^\s*//")
 
 TELEMETRY_CALL_RE = re.compile(r"\btelemetry::\w+\s*\(")
+
+TSA_ESCAPE_RE = re.compile(r"\bNO_THREAD_SAFETY_ANALYSIS\b")
+TSA_JUSTIFICATION_RE = re.compile(r"//\s*tsa:")
 
 PHASE_ENTER_RE = re.compile(r"\btelemetry::phase_enter\s*\(")
 PHASE_EXIT_RE = re.compile(r"\btelemetry::phase_exit\s*\(")
@@ -243,13 +294,40 @@ class FileLinter:
         self.stripped = strip_comments_and_strings(raw_text)
         self.lines = self.stripped.splitlines()
         self.zone = zone_for(path, raw_text)
-        self.file_allows = set(ALLOW_FILE_RE.findall(raw_text))
-        self.line_allows = {}  # line number (1-based) -> set of rule ids
-        for idx, line in enumerate(self.raw_lines, start=1):
-            rules = ALLOW_LINE_RE.findall(line)
-            if rules:
-                self.line_allows[idx] = set(rules)
         self.diags: list[Diagnostic] = []
+        # Directive pre-pass: both directive kinds are collected for the
+        # whole file before any rule runs, so lint:allow-file works whether
+        # it sits above or below the violation it suppresses. Rule names
+        # are validated against the registry — a typo'd suppression must
+        # not fail silently open.
+        self.file_allows: set[str] = set()
+        self.line_allows: dict[int, set[str]] = {}
+        for idx, line in enumerate(self.raw_lines, start=1):
+            for m in ALLOW_FILE_RE.finditer(line):
+                self.file_allows.update(self.parse_directive(idx, m.group(1)))
+            line_rules: set[str] = set()
+            for m in ALLOW_LINE_RE.finditer(line):
+                line_rules.update(self.parse_directive(idx, m.group(1)))
+            if line_rules:
+                self.line_allows[idx] = line_rules
+
+    def parse_directive(self, line: int, blob: str) -> set[str]:
+        """Split a directive's argument list, reporting unknown rules."""
+        rules = set()
+        for name in (r.strip() for r in blob.split(",")):
+            if not name:
+                continue
+            # sema-* rules belong to tools/lint/hcf_semalint.py, which
+            # honors the same directive grammar; they are valid names
+            # here, they just never suppress a lexical rule.
+            if name.startswith("sema-"):
+                continue
+            if name not in RULES:
+                self.report(line, "lint-directive",
+                            f"suppression names unknown rule '{name}'")
+                continue
+            rules.add(name)
+        return rules
 
     def report(self, line: int, rule: str, message: str) -> None:
         if rule in self.file_allows:
@@ -357,6 +435,24 @@ class FileLinter:
                 return True
             i -= 1
         return False
+
+    def check_tsa_escape_justification(self) -> None:
+        for m in TSA_ESCAPE_RE.finditer(self.stripped):
+            line = self.line_of(m.start())
+            # The macro's own preprocessor plumbing (definition in
+            # thread_annotations.hpp, any conditional redefinitions) is
+            # not an escape site.
+            if self.raw_lines[line - 1].lstrip().startswith("#"):
+                continue
+            if self.marker_adjacent(line, TSA_JUSTIFICATION_RE):
+                continue
+            self.report(
+                line, "tsa-escape-justification",
+                "NO_THREAD_SAFETY_ANALYSIS without an adjacent '// tsa:' "
+                "justification comment; every escape from the clang "
+                "thread-safety analysis is a proof obligation and must "
+                "document why the capability model cannot express this "
+                "site (docs/static_analysis.md)")
 
     def check_scan_requires_selection_lock(self) -> None:
         if self.zone not in ("core", "src", "tests"):
@@ -509,6 +605,7 @@ class FileLinter:
         self.check_raw_atomic_in_core()
         self.check_raw_atomic_in_telemetry()
         self.check_seq_cst_justification()
+        self.check_tsa_escape_justification()
         self.check_scan_requires_selection_lock()
         self.check_phase_telemetry_pairing()
         self.check_tx_bodies()
@@ -550,11 +647,29 @@ def main(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(
         description="Lint C++ sources for HCF/simulated-HTM protocol "
                     "violations.")
-    parser.add_argument("paths", nargs="+",
+    parser.add_argument("paths", nargs="*",
                         help="files or directories to lint")
     parser.add_argument("-q", "--quiet", action="store_true",
                         help="suppress the summary line")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="diagnostic output format (default: text)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="list rule ids with descriptions and exit")
     args = parser.parse_args(argv)
+
+    if args.list_rules:
+        if args.format == "json":
+            print(json.dumps(
+                [{"rule": rule, "description": desc}
+                 for rule, desc in sorted(RULES.items())], indent=2))
+        else:
+            width = max(len(rule) for rule in RULES)
+            for rule, desc in sorted(RULES.items()):
+                print(f"{rule:<{width}}  {desc}")
+        return 0
+
+    if not args.paths:
+        parser.error("paths are required unless --list-rules is given")
 
     try:
         diags = lint_paths(args.paths)
@@ -563,8 +678,13 @@ def main(argv: list[str]) -> int:
         print(f"hcf_lint: error: no such file or directory: {e.args[0]}",
               file=sys.stderr)
         return 2
-    for d in diags:
-        print(d)
+    if args.format == "json":
+        print(json.dumps(
+            [{"path": d.path, "line": d.line, "rule": d.rule,
+              "message": d.message} for d in diags], indent=2))
+    else:
+        for d in diags:
+            print(d)
     if not args.quiet:
         print(f"hcf_lint: {len(diags)} diagnostic(s)", file=sys.stderr)
     return 1 if diags else 0

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Selftest for hcf_semalint.py: analyzes every fixture under
+sema_fixtures/ and asserts the findings match the `// expect-sema: rule`
+markers exactly (line and rule). good_* fixtures carry no markers and must
+be clean; bad_* fixtures must be flagged precisely.
+
+It additionally proves the semantic linter's reason to exist: every
+bad_cross_* fixture is also run through the LEXICAL linter (hcf_lint.py),
+which must emit zero diagnostics — the violation is only visible across
+function boundaries.
+
+Exits 77 (the CTest SKIP_RETURN_CODE convention) when libclang is not
+available, so GCC-only environments skip rather than fail.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import hcf_lint  # noqa: E402
+import hcf_semalint  # noqa: E402
+
+FIXTURES = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "sema_fixtures")
+EXPECT_RE = re.compile(r"expect-sema:\s*([a-z0-9-]+(?:\s*,\s*[a-z0-9-]+)*)")
+CLANG_ARGS = ["-std=c++17"]
+
+
+def expected_findings(path: str) -> set[tuple[int, str]]:
+    expected = set()
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, start=1):
+            m = EXPECT_RE.search(line)
+            if not m:
+                continue
+            for rule in re.split(r"\s*,\s*", m.group(1)):
+                expected.add((lineno, rule))
+    return expected
+
+
+def main() -> int:
+    cindex = hcf_semalint.load_cindex()
+    if cindex is None:
+        print("selftest_sema: libclang not available; skipping",
+              file=sys.stderr)
+        return hcf_semalint.SKIP_EXIT
+
+    fixtures = sorted(
+        os.path.join(FIXTURES, name)
+        for name in os.listdir(FIXTURES)
+        if name.endswith(".cpp"))
+    if not fixtures:
+        print("selftest_sema: no fixtures found", file=sys.stderr)
+        return 1
+
+    failures = 0
+    for path in fixtures:
+        name = os.path.basename(path)
+        expected = expected_findings(path)
+        findings, errors = hcf_semalint.analyze(
+            cindex, [(path, CLANG_ARGS)], [], False)
+        if errors:
+            print(f"FAIL {name}: fixture failed to parse")
+            failures += 1
+            continue
+        actual = {(f.line, f.rule) for f in findings}
+
+        if name.startswith("good_") and expected:
+            print(f"FAIL {name}: good fixture carries expect-sema markers")
+            failures += 1
+            continue
+        if name.startswith("bad_") and not expected:
+            print(f"FAIL {name}: bad fixture has no expect-sema markers")
+            failures += 1
+            continue
+
+        ok = actual == expected
+
+        # The point of the semantic linter: cross-function fixtures must
+        # be invisible to the lexical one.
+        lexically_clean = True
+        if name.startswith("bad_cross_"):
+            lex = hcf_lint.lint_paths([path])
+            if lex:
+                lexically_clean = False
+                print(f"FAIL {name}: lexical linter unexpectedly sees it:")
+                for d in lex:
+                    print(f"  {d}")
+                failures += 1
+
+        if ok and lexically_clean:
+            verdict = "clean" if not expected else f"{len(expected)} sema"
+            if name.startswith("bad_cross_"):
+                verdict += ", lexically invisible"
+            print(f"ok   {name}: {verdict}")
+            continue
+
+        if not ok:
+            failures += 1
+            print(f"FAIL {name}:")
+            for line, rule in sorted(expected - actual):
+                print(f"  missing    line {line}: [{rule}]")
+            for line, rule in sorted(actual - expected):
+                print(f"  unexpected line {line}: [{rule}]")
+
+    if failures:
+        print(f"selftest_sema: {failures} fixture(s) failed",
+              file=sys.stderr)
+        return 1
+    print(f"selftest_sema: {len(fixtures)} fixtures ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

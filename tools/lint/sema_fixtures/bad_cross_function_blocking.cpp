@@ -1,0 +1,30 @@
+// The seeded cross-function violation the lexical linter provably misses:
+// the htm::attempt body only calls helper(l) — lexically spotless — but
+// helper acquires a lock, so the transaction can block against the
+// quiescence gate. selftest_sema.py asserts that hcf_lint.py emits ZERO
+// diagnostics for this file while hcf_semalint.py flags it.
+//
+// Self-contained on purpose: the stub attempt() has the same shape as
+// hcf::htm::attempt so fixtures parse with no include paths.
+
+namespace hcf::htm {
+template <typename F>
+bool attempt(F&& f) {
+  f();
+  return true;
+}
+}  // namespace hcf::htm
+
+struct DataLock {
+  void lock() {}
+  void unlock() {}
+};
+
+void helper(DataLock& l) {
+  l.lock();  // expect-sema: sema-tx-transitive-purity
+  l.unlock();
+}
+
+bool run(DataLock& l) {
+  return hcf::htm::attempt([&] { helper(l); });
+}

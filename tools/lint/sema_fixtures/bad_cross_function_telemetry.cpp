@@ -1,0 +1,26 @@
+// Telemetry recording reachable from an htm::attempt body through two
+// helpers. The lexical tx-telemetry-call rule sees only the lambda text —
+// `step_one(k)` — and stays silent; the event record would survive an
+// abort and replay on every retry.
+
+namespace hcf::htm {
+template <typename F>
+bool attempt(F&& f) {
+  f();
+  return true;
+}
+}  // namespace hcf::htm
+
+namespace hcf::telemetry {
+inline void record_event(int) {}
+}  // namespace hcf::telemetry
+
+void step_two(int k) {
+  hcf::telemetry::record_event(k);  // expect-sema: sema-telemetry-outside-tx
+}
+
+void step_one(int k) { step_two(k + 1); }
+
+bool run(int k) {
+  return hcf::htm::attempt([&] { step_one(k); });
+}

@@ -1,0 +1,30 @@
+// Raw allocation three helpers deep below an htm::attempt body. An
+// in-transaction `new` bypasses the htm::make funnel, so an abort leaks
+// the node (the write recording it is rolled back, the allocation is
+// not). The chain is deliberately deeper than one hop to exercise the
+// transitive walk.
+
+namespace hcf::htm {
+template <typename F>
+bool attempt(F&& f) {
+  f();
+  return true;
+}
+}  // namespace hcf::htm
+
+struct Node {
+  int v = 0;
+};
+
+Node* level3() {
+  return new Node();  // expect-sema: sema-tx-transitive-purity
+}
+
+Node* level2() { return level3(); }
+
+Node* level1() { return level2(); }
+
+bool run() {
+  Node* leaked = nullptr;
+  return hcf::htm::attempt([&] { leaked = level1(); });
+}

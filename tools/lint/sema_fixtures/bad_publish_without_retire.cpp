@@ -1,0 +1,19 @@
+// publish_combined with no preceding mark_done: the combined-count epoch
+// moves before the helped ops are retired, so selection-lock waiters wake,
+// observe themselves still pending, and fall back to re-polling the
+// contended lock line — the exact degradation the waiter protocol exists
+// to avoid (DESIGN.md §9.3). Marking done AFTER publishing does not
+// repair the ordering.
+
+struct Op {
+  void mark_done(int) {}
+};
+
+struct PubArray {
+  void publish_combined(unsigned long) {}
+};
+
+void broken_combiner(PubArray& pa, Op& own, unsigned long k) {
+  pa.publish_combined(k);  // expect-sema: sema-retire-before-publish
+  own.mark_done(0);
+}

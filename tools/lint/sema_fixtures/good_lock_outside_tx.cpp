@@ -1,0 +1,29 @@
+// Known-good: locking is perfectly legal OUTSIDE transactions — the
+// purity rule is scoped to code reachable from an htm::attempt body, not
+// to every function in the file.
+
+namespace hcf::htm {
+template <typename F>
+bool attempt(F&& f) {
+  f();
+  return true;
+}
+}  // namespace hcf::htm
+
+struct DataLock {
+  void lock() {}
+  void unlock() {}
+};
+
+int shared_value = 0;
+
+void under_lock(DataLock& l) {
+  l.lock();
+  shared_value += 1;
+  l.unlock();
+}
+
+bool run(DataLock& l) {
+  under_lock(l);
+  return hcf::htm::attempt([&] { shared_value += 1; });
+}

@@ -1,0 +1,23 @@
+// Known-good combiner shapes for retire-before-publish: mark_done calls
+// precede publish_combined either directly or through a retire helper
+// (the rule follows the call graph, mirroring CombineCore::retire_prefix).
+
+struct Op {
+  void mark_done(int) {}
+};
+
+struct PubArray {
+  void publish_combined(unsigned long) {}
+};
+
+void retire_prefix(Op& own, unsigned long) { own.mark_done(1); }
+
+void direct_combiner(PubArray& pa, Op& own, unsigned long k) {
+  own.mark_done(1);
+  pa.publish_combined(k);
+}
+
+void helper_combiner(PubArray& pa, Op& own, unsigned long k) {
+  retire_prefix(own, k);
+  pa.publish_combined(k);
+}

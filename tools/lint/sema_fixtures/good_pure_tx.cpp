@@ -1,0 +1,36 @@
+// Known-good transaction: helpers compute, allocation goes through the
+// sanctioned hcf::htm::make funnel (the walk classifies calls into
+// hcf::htm but never descends into it, so make's internal `new` is not a
+// finding), and telemetry fires only after the attempt returns.
+
+namespace hcf::htm {
+template <typename F>
+bool attempt(F&& f) {
+  f();
+  return true;
+}
+template <typename T>
+T* make(int v) {
+  return new T{v};
+}
+}  // namespace hcf::htm
+
+namespace hcf::telemetry {
+inline void commit_event() {}
+}  // namespace hcf::telemetry
+
+struct Node {
+  int v;
+};
+
+int pure_helper(int x) { return x * 2 + 1; }
+
+Node* build(int v) { return hcf::htm::make<Node>(v); }
+
+bool run(int v) {
+  Node* n = nullptr;
+  const bool ok = hcf::htm::attempt([&] { n = build(pure_helper(v)); });
+  hcf::telemetry::commit_event();
+  delete n;
+  return ok;
+}

@@ -1,0 +1,25 @@
+// Known-good: a deliberate in-transaction lock carrying a lint:allow
+// suppression — the escape hatch negative tests use. The semantic linter
+// honors the same directive grammar as the lexical one.
+
+namespace hcf::htm {
+template <typename F>
+bool attempt(F&& f) {
+  f();
+  return true;
+}
+}  // namespace hcf::htm
+
+struct DataLock {
+  void lock() {}
+  void unlock() {}
+};
+
+void deliberate(DataLock& l) {
+  l.lock();  // lint:allow(sema-tx-transitive-purity) — provoked on purpose
+  l.unlock();
+}
+
+bool run(DataLock& l) {
+  return hcf::htm::attempt([&] { deliberate(l); });
+}

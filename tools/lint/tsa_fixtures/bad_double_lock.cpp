@@ -1,0 +1,10 @@
+// Re-acquires a lock the function already holds. TxLock is not reentrant
+// (a second lock() would deadlock on the ticket/flag), and the capability
+// model rejects the double acquire statically.
+#include "sync/tx_lock.hpp"
+
+void double_acquire(hcf::sync::TxLock& l) {
+  l.lock();
+  l.lock();  // expect-tsa: already held
+  l.unlock();
+}

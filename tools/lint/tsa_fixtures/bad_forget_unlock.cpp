@@ -1,0 +1,7 @@
+// Acquires the spinlock on every path and never releases it: the
+// thread-safety analysis must reject the function.
+#include "sync/spinlock.hpp"
+
+void leak_lock(hcf::sync::SpinLock& l) {
+  l.lock();
+}  // expect-tsa: still held

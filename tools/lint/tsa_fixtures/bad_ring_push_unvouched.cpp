@@ -1,0 +1,11 @@
+// Pushes into a telemetry ring without vouching for writer ownership.
+// Rings are single-writer by construction (one per dense thread id);
+// assume_writer() is the only sanctioned way to claim that capability,
+// so an unvouched push is a cross-thread write waiting to happen.
+#include "telemetry/event.hpp"
+#include "telemetry/ring_buffer.hpp"
+
+void unvouched_push(hcf::telemetry::EventRing<4>& ring,
+                    const hcf::telemetry::Event& e) {
+  ring.push(e);  // expect-tsa: requires holding
+}

@@ -1,0 +1,16 @@
+// Scans the publication array without the selection lock — the race the
+// scan-requires-selection-lock lexical rule catches by text and the
+// REQUIRES(selection_lock_) annotation catches by proof: an unlocked scan
+// races clear_slot against concurrent combiners.
+#include <cstddef>
+
+#include "core/operation.hpp"
+#include "core/publication_array.hpp"
+
+struct TsaNullDs {};
+
+void unlocked_scan(hcf::core::PublicationArray<TsaNullDs>& pa) {
+  pa.for_each_announced(
+      [](hcf::core::Operation<TsaNullDs>*, std::size_t) {});
+  // expect-tsa: requires holding
+}

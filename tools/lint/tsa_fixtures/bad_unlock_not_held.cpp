@@ -1,0 +1,8 @@
+// Releases a lock the function never acquired: in the real protocol this
+// is the SingleHolder hand-off bug class (releasing the selection lock on
+// behalf of a combiner that still owns it).
+#include "sync/spinlock.hpp"
+
+void release_unheld(hcf::sync::SpinLock& l) {
+  l.unlock();  // expect-tsa: not held
+}

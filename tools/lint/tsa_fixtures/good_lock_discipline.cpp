@@ -1,0 +1,41 @@
+// Compiled by tsa_selftest.py with -Wthread-safety -Werror=thread-safety:
+// the annotated HCF lock discipline, used correctly, must be warning-free.
+// This is the positive control for the bad_* fixtures next to it.
+#include <cstddef>
+
+#include "core/operation.hpp"
+#include "core/publication_array.hpp"
+#include "sync/spinlock.hpp"
+#include "sync/tx_lock.hpp"
+#include "telemetry/event.hpp"
+#include "telemetry/ring_buffer.hpp"
+
+struct TsaNullDs {};
+
+void balanced_spinlock(hcf::sync::SpinLock& l) {
+  l.lock();
+  l.unlock();
+}
+
+void scoped_guards(hcf::sync::SpinLock& s, hcf::sync::TxLock& t) {
+  hcf::sync::SpinGuard g1(s);
+  hcf::sync::LockGuard<hcf::sync::TxLock> g2(t);
+}
+
+void try_lock_branch(hcf::sync::TxLock& l) {
+  if (l.try_lock()) l.unlock();
+}
+
+void locked_scan(hcf::core::PublicationArray<TsaNullDs>& pa) {
+  pa.selection_lock().lock();
+  pa.for_each_announced([](hcf::core::Operation<TsaNullDs>*, std::size_t) {});
+  pa.clear_slot(0);
+  pa.selection_lock().unlock();
+}
+
+void vouched_ring_write(hcf::telemetry::EventRing<4>& ring,
+                        const hcf::telemetry::Event& e) {
+  ring.assume_writer();
+  ring.push(e);
+  ring.clear();
+}

@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Selftest for the Clang Thread-Safety annotations: compiles every
+fixture under tsa_fixtures/ against the real repo headers with
+`-Wthread-safety -Werror=thread-safety`.
+
+good_* fixtures must compile clean — they are the positive control
+proving the annotations accept the correct discipline. bad_* fixtures
+must FAIL to compile, and the compiler output must contain every
+`// expect-tsa: substring` marker in the fixture — proving the
+annotations reject the specific misuse each fixture stages.
+
+Needs a clang++ (the analysis is clang-only). Search order: --clang,
+$HCF_CLANGXX, `clang++` on PATH, then versioned /usr/bin/clang++-N.
+Exits 77 (the CTest SKIP_RETURN_CODE convention) when none is found, so
+GCC-only environments skip rather than fail.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+SKIP_EXIT = 77
+HERE = os.path.dirname(os.path.abspath(__file__))
+ROOT = os.path.dirname(os.path.dirname(HERE))
+FIXTURES = os.path.join(HERE, "tsa_fixtures")
+EXPECT_RE = re.compile(r"//\s*expect-tsa:\s*(.+?)\s*$")
+
+BASE_FLAGS = [
+    "-fsyntax-only", "-std=c++20",
+    "-I", os.path.join(ROOT, "src"),
+    "-Wthread-safety", "-Werror=thread-safety",
+]
+
+
+def find_clang(explicit: str | None) -> str | None:
+    candidates = []
+    if explicit:
+        candidates.append(explicit)
+    env = os.environ.get("HCF_CLANGXX")
+    if env:
+        candidates.append(env)
+    candidates.append("clang++")
+    for cand in candidates:
+        resolved = cand if os.path.isfile(cand) else shutil.which(cand)
+        if resolved:
+            return resolved
+    versioned = sorted(glob.glob("/usr/bin/clang++-*") +
+                       glob.glob("/usr/local/bin/clang++-*"), reverse=True)
+    return versioned[0] if versioned else None
+
+
+def is_clang(compiler: str) -> bool:
+    try:
+        out = subprocess.run([compiler, "--version"], capture_output=True,
+                             text=True, timeout=30)
+    except (OSError, subprocess.TimeoutExpired):
+        return False
+    return "clang" in out.stdout.lower()
+
+
+def expected_substrings(path: str) -> list[str]:
+    out = []
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            m = EXPECT_RE.search(line)
+            if m:
+                out.append(m.group(1))
+    return out
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="Compile TSA fixtures with clang -Wthread-safety and "
+                    "assert the expected accept/reject behavior.")
+    parser.add_argument("--clang", default=None,
+                        help="clang++ executable to use")
+    args = parser.parse_args()
+
+    clang = find_clang(args.clang)
+    if clang is None or not is_clang(clang):
+        print("tsa_selftest: no clang++ found (the thread-safety analysis "
+              "is clang-only); skipping", file=sys.stderr)
+        return SKIP_EXIT
+
+    fixtures = sorted(
+        os.path.join(FIXTURES, name)
+        for name in os.listdir(FIXTURES)
+        if name.endswith(".cpp"))
+    if not fixtures:
+        print("tsa_selftest: no fixtures found", file=sys.stderr)
+        return 1
+
+    failures = 0
+    for path in fixtures:
+        name = os.path.basename(path)
+        proc = subprocess.run([clang] + BASE_FLAGS + [path],
+                              capture_output=True, text=True)
+        expected = expected_substrings(path)
+
+        if name.startswith("good_"):
+            if expected:
+                print(f"FAIL {name}: good fixture carries expect-tsa "
+                      "markers")
+                failures += 1
+            elif proc.returncode != 0:
+                print(f"FAIL {name}: expected clean compile, got:")
+                print(proc.stderr)
+                failures += 1
+            else:
+                print(f"ok   {name}: clean under -Wthread-safety")
+            continue
+
+        # bad_*: must fail, with every marked diagnostic present.
+        if not expected:
+            print(f"FAIL {name}: bad fixture has no expect-tsa markers")
+            failures += 1
+            continue
+        if proc.returncode == 0:
+            print(f"FAIL {name}: compiled clean but must be rejected")
+            failures += 1
+            continue
+        missing = [s for s in expected if s not in proc.stderr]
+        if missing:
+            print(f"FAIL {name}: diagnostics missing substrings:")
+            for s in missing:
+                print(f"  expected: {s!r}")
+            print("  got:")
+            print(proc.stderr)
+            failures += 1
+            continue
+        print(f"ok   {name}: rejected with expected diagnostics")
+
+    if failures:
+        print(f"tsa_selftest: {failures} fixture(s) failed",
+              file=sys.stderr)
+        return 1
+    print(f"tsa_selftest: {len(fixtures)} fixtures ok ({clang})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
