@@ -18,12 +18,14 @@
 #include <cassert>
 #include <optional>
 #include <span>
+#include <thread>
 #include <vector>
 
 #include "core/hcf_engine.hpp"
 #include "util/backoff.hpp"
 #include "core/operation.hpp"
 #include "ds/hash_table.hpp"
+#include "util/rng.hpp"
 
 namespace hcf::adapters {
 
@@ -48,13 +50,31 @@ class HtOpBase : public core::Operation<ds::HashTable<K, V>> {
   Kind kind() const noexcept { return kind_; }
   K key() const noexcept { return key_; }
 
+  // Fibonacci-hash bucket-range sharding: the same SplitMix64 finalizer
+  // the table itself hashes buckets with (HashTable::bucket_index), so
+  // when the sharded meta-engine takes the high bits each shard owns a
+  // contiguous range of the hashed-bucket space. Find/Insert/Remove on the
+  // same key always agree, and per-key state lives on exactly one shard.
+  std::uint64_t shard_key() const noexcept override {
+    return util::mix64(static_cast<std::uint64_t>(key_));
+  }
+
   // Synthetic critical-section work; see EXPERIMENTS.md. Hash-table
   // combining does not eliminate operations, so batches pay per-op work —
   // the batch still amortizes transactions and lock acquisitions.
   void set_work(std::uint32_t spins) noexcept { work_ = spins; }
 
+  // Emulated mid-operation preemption (WorkloadSpec::cs_preempt): yield
+  // after the operation body while the enclosing transaction or lock is
+  // still open, so operations genuinely overlap in time even when threads
+  // outnumber cores.
+  void set_preempt(bool on) noexcept { preempt_ = on; }
+
  protected:
-  void pay_work() const noexcept { util::spin_for(work_); }
+  void pay_work() const noexcept {
+    util::spin_for(work_);
+    if (preempt_) std::this_thread::yield();
+  }
 
  public:
 
@@ -94,6 +114,7 @@ class HtOpBase : public core::Operation<ds::HashTable<K, V>> {
   V value_{};
   bool bool_result_ = false;
   std::uint32_t work_ = 0;
+  bool preempt_ = false;
   std::optional<V> find_result_;
 };
 

@@ -82,6 +82,20 @@ class AdaptiveHcfEngine {
   void reset_stats() noexcept { inner_.reset_stats(); }
   DS& data() noexcept { return inner_.data(); }
   Inner& inner() noexcept { return inner_; }
+  auto& lock() noexcept { return inner_.lock(); }
+
+  // Policy pass-through: the adaptive engine is itself PolicyConfigurable,
+  // so meta-engines can wrap it (ShardedEngine<AdaptiveHcfEngine> runs one
+  // independent controller per shard). External updates compete with the
+  // controller on equal terms — both funnel through the inner engine's
+  // per-class detail::AtomicPolicy slot.
+  std::size_t num_classes() const noexcept { return inner_.num_classes(); }
+  ClassConfig class_config(std::size_t cls) const noexcept {
+    return inner_.class_config(cls);
+  }
+  void set_class_policy(std::size_t cls, const PhasePolicy& policy) noexcept {
+    inner_.set_class_policy(cls, policy);
+  }
 
   // Introspection for tests/benches: the lean currently applied per class.
   enum class Lean : std::uint8_t { Balanced = 0, Speculative = 1, Combining = 2 };

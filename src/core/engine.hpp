@@ -16,6 +16,7 @@
 #include "core/operation.hpp"
 #include "core/phase_exec.hpp"
 #include "core/scm_engine.hpp"
+#include "core/sharded_engine.hpp"
 #include "core/tle_engine.hpp"
 #include "core/tle_fc_engine.hpp"
 #include "core/types.hpp"

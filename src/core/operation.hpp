@@ -72,6 +72,15 @@ class Operation {
   virtual bool combine_keyed() const { return false; }
   virtual std::uint64_t combine_key() const { return 0; }
 
+  // Sharding hook (core/sharded_engine.hpp): a well-mixed 64-bit hash of
+  // the operation's target; the sharded meta-engine selects a shard from
+  // its high bits. Any two operations that may touch the same state must
+  // return the same key — whole-structure operations have no such key and
+  // go through the meta-engine's cross-shard path instead. The default
+  // routes every operation to shard 0, which is always correct (a single
+  // shard sees a total order) just never scalable.
+  virtual std::uint64_t shard_key() const noexcept { return 0; }
+
   // ---- framework state ----
 
   int class_id() const noexcept { return class_id_; }

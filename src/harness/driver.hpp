@@ -27,6 +27,23 @@
 
 namespace hcf::harness {
 
+namespace detail {
+
+// Engines normally expose one live EngineStats& (stats()); a sharded
+// meta-engine owns one per shard and exposes a merged value snapshot
+// instead (stats_snapshot()). Preferring the snapshot hook when present
+// lets run_timed drive both without constraining either surface.
+template <typename Engine>
+core::EngineStatsSnapshot capture_stats(Engine& engine) {
+  if constexpr (requires { engine.stats_snapshot(); }) {
+    return engine.stats_snapshot();
+  } else {
+    return core::EngineStatsSnapshot::capture(engine.stats());
+  }
+}
+
+}  // namespace detail
+
 struct RunResult {
   std::uint64_t total_ops = 0;
   double duration_s = 0.0;
@@ -90,7 +107,9 @@ struct DriverOptions {
 
 // `make_worker(thread_index)` returns a callable invoked repeatedly; each
 // call must execute exactly one operation through the engine. `engine`
-// only needs reset_stats() / stats() / lock_acquisitions().
+// only needs reset_stats() / stats() (or stats_snapshot(), see
+// detail::capture_stats — how sharded meta-engines register here) /
+// lock_acquisitions().
 template <typename Engine, typename WorkerFactory>
 RunResult run_timed(Engine& engine, std::size_t num_threads,
                     WorkerFactory&& make_worker,
@@ -150,7 +169,7 @@ RunResult run_timed(Engine& engine, std::size_t num_threads,
   engine.reset_stats();
   htm::stats().reset();
   const auto base_htm = htm::StatsSnapshot::capture();
-  const auto base_engine = core::EngineStatsSnapshot::capture(engine.stats());
+  const auto base_engine = detail::capture_stats(engine);
   const auto start = std::chrono::steady_clock::now();
   measuring.store(true, std::memory_order_relaxed);
 
@@ -206,8 +225,7 @@ RunResult run_timed(Engine& engine, std::size_t num_threads,
   result.duration_s =
       std::chrono::duration<double>(end - start).count();
   result.total_ops = running_total();
-  result.engine = core::EngineStatsSnapshot::capture(engine.stats())
-                      .delta_since(base_engine);
+  result.engine = detail::capture_stats(engine).delta_since(base_engine);
   result.htm = htm::StatsSnapshot::capture().delta_since(base_htm);
   result.lock_acquisitions = engine.lock_acquisitions();
   if (histogram != nullptr) {

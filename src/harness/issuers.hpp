@@ -26,6 +26,9 @@ class HtWorker {
     find_.set_work(spec.cs_work);
     insert_.set_work(spec.cs_work);
     remove_.set_work(spec.cs_work);
+    find_.set_preempt(spec.cs_preempt);
+    insert_.set_preempt(spec.cs_preempt);
+    remove_.set_preempt(spec.cs_preempt);
   }
 
   void operator()() {

@@ -36,6 +36,17 @@ struct WorkloadSpec {
   // on machines with few cores (EXPERIMENTS.md, "contention amplification").
   std::uint32_t cs_work = 0;
 
+  // Emulated mid-operation preemption: yield the CPU after the operation
+  // body while its transaction (or lock) is still open, modeling a loaded
+  // machine where threads outnumber cores and operations are routinely
+  // descheduled in flight. On few-core hosts this is what creates temporal
+  // overlap between transactions at all — without it two transactions
+  // almost never coexist, so conflict rates stay near zero no matter how
+  // much cs_work widens the window (EXPERIMENTS.md, "preemption
+  // amplification"). Off by default; every figure's paper-parameters panel
+  // is unaffected.
+  bool cs_preempt = false;
+
   // The paper's workload naming: N% find, rest split evenly.
   static WorkloadSpec reads(int find_pct, std::uint64_t key_range,
                             KeyDist dist = KeyDist::Uniform,
@@ -60,6 +71,7 @@ struct WorkloadSpec {
       s += " zipf(" + std::to_string(zipf_theta).substr(0, 4) + ")";
     }
     if (cs_work != 0) s += " work=" + std::to_string(cs_work);
+    if (cs_preempt) s += " preempt";
     return s;
   }
 };

@@ -116,6 +116,9 @@ class CAPABILITY("ebr.domain") EbrDomain {
   // Thread-local limbo list. On thread exit remaining entries are handed to
   // the shared orphan list so another thread can reclaim them later.
   struct LimboList : std::vector<detail::RetiredNode> {
+    // Global epoch value at the last free_safe sweep over this list; the
+    // sentinel forces the first collect to sweep. See collect().
+    std::uint64_t last_swept_epoch = ~std::uint64_t{0};
     ~LimboList() {
       if (!empty()) {
         auto& dom = EbrDomain::instance();
@@ -125,7 +128,7 @@ class CAPABILITY("ebr.domain") EbrDomain {
     }
   };
 
-  std::vector<detail::RetiredNode>& limbo_list() {
+  LimboList& limbo_list() {
     thread_local LimboList limbo;
     return limbo;
   }
@@ -145,9 +148,19 @@ class CAPABILITY("ebr.domain") EbrDomain {
     return true;
   }
 
-  void collect(std::vector<detail::RetiredNode>& limbo) {
+  void collect(LimboList& limbo) {
     try_advance();
     const std::uint64_t g = global_epoch_.load(std::memory_order_acquire);
+    // If the epoch hasn't moved since this list was last swept, nothing can
+    // have become freeable (freeability depends only on the global epoch,
+    // and nodes retired since carry the current epoch). Skipping the sweep
+    // matters under oversubscription: a thread preempted while pinned
+    // freezes the epoch for its whole time off-CPU, and without this check
+    // every kCollectThreshold retires rescan the entire — growing — limbo
+    // list fruitlessly, turning reclamation quadratic exactly when the
+    // machine is busiest.
+    if (g == limbo.last_swept_epoch) return;
+    limbo.last_swept_epoch = g;
     free_safe(limbo, g);
     // Opportunistically reclaim orphans from exited threads.
     if (!orphans_empty()) {

@@ -20,9 +20,16 @@ enum class EventType : std::uint8_t {
   SelLockAcquire = 7,  // publication-array selection lock taken
   SelLockRelease = 8,
   OpLatency = 9,       // arg = sampled whole-operation latency (ns)
+  ShardRoute = 10,     // code = shard index an operation was routed to
+  CrossShardBegin = 11,  // arg = shard count of an all-shard sweep
+  CrossShardEnd = 12,    // arg = shard count of an all-shard sweep
 };
 
-inline constexpr int kNumEventTypes = 10;
+inline constexpr int kNumEventTypes = 13;
+
+// Event::shard when the recording thread was not executing inside any
+// shard of a sharded meta-engine.
+inline constexpr std::uint8_t kNoShardId = 0xff;
 
 inline const char* to_string(EventType t) noexcept {
   switch (t) {
@@ -36,6 +43,9 @@ inline const char* to_string(EventType t) noexcept {
     case EventType::SelLockAcquire: return "sel-lock-acquire";
     case EventType::SelLockRelease: return "sel-lock-release";
     case EventType::OpLatency: return "op-latency";
+    case EventType::ShardRoute: return "shard-route";
+    case EventType::CrossShardBegin: return "cross-shard-begin";
+    case EventType::CrossShardEnd: return "cross-shard-end";
   }
   return "?";
 }
@@ -44,13 +54,16 @@ struct Event {
   std::uint64_t ts_ns = 0;  // nanoseconds since the telemetry epoch
   EventType type = EventType::None;
   std::uint8_t code = 0;  // phase id / abort code, by type
+  std::uint8_t shard = kNoShardId;  // shard the recording thread ran in
   std::uint32_t arg = 0;  // batch size / latency, by type
 
-  // Two-word transport for the ring buffer's seqlock slots.
+  // Two-word transport for the ring buffer's seqlock slots. The shard tag
+  // rides in word1 bits 16-23 (previously unused padding).
   std::uint64_t word0() const noexcept { return ts_ns; }
   std::uint64_t word1() const noexcept {
     return static_cast<std::uint64_t>(type) |
            (static_cast<std::uint64_t>(code) << 8) |
+           (static_cast<std::uint64_t>(shard) << 16) |
            (static_cast<std::uint64_t>(arg) << 32);
   }
   static Event unpack(std::uint64_t w0, std::uint64_t w1) noexcept {
@@ -58,6 +71,7 @@ struct Event {
     e.ts_ns = w0;
     e.type = static_cast<EventType>(w1 & 0xff);
     e.code = static_cast<std::uint8_t>((w1 >> 8) & 0xff);
+    e.shard = static_cast<std::uint8_t>((w1 >> 16) & 0xff);
     e.arg = static_cast<std::uint32_t>(w1 >> 32);
     return e;
   }

@@ -151,6 +151,36 @@ inline bool enabled() noexcept { return detail::gate().enabled(); }
 
 inline void set_enabled(bool on) noexcept { detail::gate().set(on); }
 
+namespace detail {
+// The shard the calling thread is currently executing in (sharded
+// meta-engines scope it around the inner engine's execute), stamped onto
+// every event so exporters can roll traffic up per shard. Plain
+// thread_local — only the owning thread ever touches it.
+inline thread_local std::uint8_t t_current_shard = kNoShardId;
+}  // namespace detail
+
+inline std::uint8_t current_shard() noexcept {
+  return detail::t_current_shard;
+}
+
+// RAII shard tag: every event recorded while the scope is alive carries
+// the shard index. Nests (saves/restores), so a meta-engine wrapping
+// another meta-engine keeps the innermost tag.
+class ShardScope {
+ public:
+  explicit ShardScope(std::size_t shard) noexcept
+      : saved_(detail::t_current_shard) {
+    detail::t_current_shard =
+        shard < kNoShardId ? static_cast<std::uint8_t>(shard) : kNoShardId;
+  }
+  ~ShardScope() { detail::t_current_shard = saved_; }
+  ShardScope(const ShardScope&) = delete;
+  ShardScope& operator=(const ShardScope&) = delete;
+
+ private:
+  std::uint8_t saved_;
+};
+
 inline void record(EventType type, std::uint8_t code = 0,
                    std::uint32_t arg = 0) noexcept {
   if (!enabled()) return;
@@ -159,6 +189,7 @@ inline void record(EventType type, std::uint8_t code = 0,
   e.ts_ns = d.now_ns();
   e.type = type;
   e.code = code;
+  e.shard = detail::t_current_shard;
   e.arg = arg;
   auto& ring = d.ring(util::this_thread_id());
   // Writer ownership: rings are indexed by dense thread id, so the ring
@@ -212,6 +243,13 @@ inline std::uint64_t latency_samples() noexcept {
 
 inline bool enabled() noexcept { return false; }
 inline void set_enabled(bool) noexcept {}
+inline std::uint8_t current_shard() noexcept { return kNoShardId; }
+class ShardScope {
+ public:
+  explicit ShardScope(std::size_t) noexcept {}
+  ShardScope(const ShardScope&) = delete;
+  ShardScope& operator=(const ShardScope&) = delete;
+};
 inline void record(EventType, std::uint8_t = 0, std::uint32_t = 0) noexcept {}
 inline bool should_sample_op() noexcept { return false; }
 inline void op_latency(std::uint64_t) noexcept {}
@@ -255,6 +293,17 @@ inline void sel_lock_acquired() noexcept {
 }
 inline void sel_lock_released() noexcept {
   record(EventType::SelLockRelease);
+}
+inline void shard_route(std::size_t shard) noexcept {
+  record(EventType::ShardRoute, static_cast<std::uint8_t>(shard));
+}
+inline void cross_shard_begin(std::size_t num_shards) noexcept {
+  record(EventType::CrossShardBegin, 0,
+         static_cast<std::uint32_t>(num_shards));
+}
+inline void cross_shard_end(std::size_t num_shards) noexcept {
+  record(EventType::CrossShardEnd, 0,
+         static_cast<std::uint32_t>(num_shards));
 }
 
 }  // namespace hcf::telemetry

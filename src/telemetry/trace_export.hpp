@@ -8,6 +8,7 @@
 // measured region, and snapshotting is wait-free for the recording threads.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <ostream>
 #include <string>
@@ -55,10 +56,18 @@ inline void write_ts_us(std::ostream& os, std::uint64_t ts_ns) {
 // Aggregate view of everything currently retained in the rings, plus the
 // latency percentiles from the sampled-op histogram.
 struct TraceSummary {
+  // Per-shard rollup (sharded meta-engines tag events with a shard index;
+  // indices >= kMaxShardSlots fold into the last slot).
+  static constexpr int kMaxShardSlots = 64;
+
   std::uint64_t by_type[kNumEventTypes] = {};
   std::uint64_t aborts_by_code[16] = {};
   std::uint64_t phase_completions[16] = {};
   std::uint64_t ops_selected = 0;  // summed over combine-begin events
+  std::uint64_t events_by_shard[kMaxShardSlots] = {};  // any tagged event
+  std::uint64_t routed_by_shard[kMaxShardSlots] = {};  // shard-route events
+  std::uint64_t cross_shard_sweeps = 0;  // all-shard-lock operations begun
+  int max_shard = -1;  // highest shard index seen; -1 = nothing sharded
   std::uint64_t events_pushed = 0;
   std::uint64_t events_dropped = 0;
   std::uint64_t latency_samples = 0;
@@ -82,6 +91,11 @@ inline TraceSummary collect_summary() {
     for (const Event& e : events) {
       const int t = static_cast<int>(e.type);
       if (t >= 0 && t < kNumEventTypes) ++s.by_type[t];
+      if (e.shard != kNoShardId) {
+        const int slot = std::min<int>(e.shard, TraceSummary::kMaxShardSlots - 1);
+        ++s.events_by_shard[slot];
+        if (e.shard > s.max_shard) s.max_shard = e.shard;
+      }
       switch (e.type) {
         case EventType::HtmAbort:
           ++s.aborts_by_code[e.code & 0xf];
@@ -91,6 +105,15 @@ inline TraceSummary collect_summary() {
           break;
         case EventType::CombineBegin:
           s.ops_selected += e.arg;
+          break;
+        case EventType::ShardRoute: {
+          const int slot = std::min<int>(e.code, TraceSummary::kMaxShardSlots - 1);
+          ++s.routed_by_shard[slot];
+          if (e.code > s.max_shard) s.max_shard = e.code;
+          break;
+        }
+        case EventType::CrossShardBegin:
+          ++s.cross_shard_sweeps;
           break;
         default:
           break;
@@ -128,6 +151,15 @@ inline void write_summary(std::ostream& os, const TraceSummary& s) {
      << s.count(EventType::CombineBegin)
      << " ops-selected=" << s.ops_selected << " sel-lock-acquires="
      << s.count(EventType::SelLockAcquire) << '\n';
+  if (s.max_shard >= 0) {
+    const int shown =
+        std::min(s.max_shard, TraceSummary::kMaxShardSlots - 1);
+    os << "[telemetry] shards: routed-ops";
+    for (int i = 0; i <= shown; ++i) {
+      os << " s" << i << '=' << s.routed_by_shard[i];
+    }
+    os << " cross-shard-sweeps=" << s.cross_shard_sweeps << '\n';
+  }
   if (s.latency_samples > 0) {
     os << "[telemetry] op latency (" << s.latency_samples
        << " samples): p50=" << s.latency_p50_ns
@@ -159,12 +191,20 @@ inline void write_chrome_trace(std::ostream& os) {
     detail::write_ts_us(os, e.ts_ns);
     os << ",\"name\":\"" << name << '"';
     if (ph == 'i') os << ",\"s\":\"t\"";
-    if (!args.empty()) os << ",\"args\":{" << args << '}';
+    // Shard-tagged events carry the shard as a slice arg so the viewer
+    // can filter one shard's activity.
+    std::string full_args = args;
+    if (e.shard != kNoShardId) {
+      if (!full_args.empty()) full_args += ',';
+      full_args += "\"shard\":" + std::to_string(e.shard);
+    }
+    if (!full_args.empty()) os << ",\"args\":{" << full_args << '}';
     os << '}';
   };
   for (const auto& [tid, events] : per_thread) {
-    // Open-slice depth per kind: phases, combine sessions, selection lock.
-    int phase_depth = 0, combine_depth = 0, lock_depth = 0;
+    // Open-slice depth per kind: phases, combine sessions, selection lock,
+    // cross-shard sweeps.
+    int phase_depth = 0, combine_depth = 0, lock_depth = 0, cross_depth = 0;
     for (const Event& e : events) {
       switch (e.type) {
         case EventType::PhaseEnter:
@@ -209,6 +249,20 @@ inline void write_chrome_trace(std::ostream& os) {
           emit(tid, e, 'i', "op-sample",
                "\"latency_ns\":" + std::to_string(e.arg));
           break;
+        case EventType::CrossShardBegin:
+          ++cross_depth;
+          emit(tid, e, 'B', "cross-shard",
+               "\"shards\":" + std::to_string(e.arg));
+          break;
+        case EventType::CrossShardEnd:
+          if (cross_depth == 0) break;
+          --cross_depth;
+          emit(tid, e, 'E', "cross-shard", "");
+          break;
+        // ShardRoute is deliberately not drawn: one instant per routed
+        // operation would swamp the timeline; the aggregate summary's
+        // per-shard rollup carries that information instead (slices still
+        // expose their shard via the args tag above).
         default:
           break;
       }
@@ -218,6 +272,8 @@ inline void write_chrome_trace(std::ostream& os) {
         events.empty() ? 0 : events.back().ts_ns;
     Event closer;
     closer.ts_ns = end_ts;
+    closer.shard = kNoShardId;
+    while (cross_depth-- > 0) emit(tid, closer, 'E', "cross-shard", "");
     while (lock_depth-- > 0) emit(tid, closer, 'E', "selection-lock", "");
     while (combine_depth-- > 0) emit(tid, closer, 'E', "combine", "");
     while (phase_depth-- > 0) emit(tid, closer, 'E', "phase", "");

@@ -4,13 +4,18 @@
 // them (false orec conflicts are allowed — lost updates are not).
 #include <gtest/gtest.h>
 
+#include <map>
+#include <memory>
 #include <set>
+#include <span>
 #include <thread>
 #include <vector>
 
 #include "adapters/stack_ops.hpp"
 #include "engine_test_util.hpp"
+#include "harness/linearizability.hpp"
 #include "mem/ebr.hpp"
+#include "util/barrier.hpp"
 #include "util/rng.hpp"
 
 namespace hcf::test {
@@ -310,6 +315,220 @@ TEST(CrossEngine, UnifiedEnginesShareSubstrateAcrossDequeAndPq) {
   run_deque_and_pq_concurrently<Engines<Dq>::TleFc, Engines<Pq>::TleFc>();
   run_deque_and_pq_concurrently<Engines<Dq>::Hcf, Engines<Pq>::Hcf>();
   run_deque_and_pq_concurrently<Engines<Dq>::Hcf1C, Engines<Pq>::Hcf1C>();
+}
+
+// ---- Sharded variants ------------------------------------------------------
+// The sharded meta-engine partitions the hash table across N independent
+// HCF instances. Per-shard runs must still meet the sequential spec, and
+// the whole — including the cross-shard size() path — must stay
+// linearizable: sharding changes where state lives, never what histories
+// are admissible.
+
+using ShardTable = ds::HashTable<std::uint64_t, std::uint64_t>;
+using ShardedHcf = core::ShardedEngine<core::HcfEngine<ShardTable>>;
+
+struct ShardedFixture {
+  std::vector<std::unique_ptr<ShardTable>> tables;
+  std::vector<ShardTable*> ptrs;
+  std::unique_ptr<ShardedHcf> engine;
+
+  explicit ShardedFixture(std::size_t shards) {
+    for (std::size_t i = 0; i < shards; ++i) {
+      tables.push_back(std::make_unique<ShardTable>(64));
+      ptrs.push_back(tables.back().get());
+    }
+    engine = std::make_unique<ShardedHcf>(std::span<ShardTable* const>(ptrs),
+                                          adapters::ht_paper_config(),
+                                          adapters::kHtNumArrays);
+  }
+};
+
+void check_sharded_ht_sequential_spec(std::size_t shards) {
+  ShardedFixture f(shards);
+  adapters::HtInsertOp<std::uint64_t, std::uint64_t> insert;
+  adapters::HtRemoveOp<std::uint64_t, std::uint64_t> remove;
+  adapters::HtFindOp<std::uint64_t, std::uint64_t> find;
+
+  for (std::uint64_t k = 0; k < 20; ++k) {
+    insert.set(k, k * 3 + 1);
+    f.engine->execute(insert);
+    ASSERT_TRUE(insert.result()) << shards << " shards, key " << k;
+  }
+  ASSERT_EQ(f.engine->size(), 20u) << shards << " shards";
+  // Re-insert updates in place (set semantics of HashTable::insert).
+  insert.set(5, 999);
+  f.engine->execute(insert);
+  EXPECT_FALSE(insert.result()) << shards << " shards";
+  find.set(5);
+  f.engine->execute(find);
+  ASSERT_TRUE(find.result().has_value());
+  EXPECT_EQ(*find.result(), 999u) << shards << " shards";
+
+  for (std::uint64_t k = 0; k < 20; k += 2) {
+    remove.set(k);
+    f.engine->execute(remove);
+    ASSERT_TRUE(remove.result()) << shards << " shards, key " << k;
+  }
+  remove.set(4);
+  f.engine->execute(remove);
+  EXPECT_FALSE(remove.result()) << shards << " shards";
+  ASSERT_EQ(f.engine->size(), 10u) << shards << " shards";
+
+  for (std::uint64_t k = 0; k < 20; ++k) {
+    find.set(k);
+    f.engine->execute(find);
+    EXPECT_EQ(find.result().has_value(), k % 2 == 1)
+        << shards << " shards, key " << k;
+  }
+  for (std::size_t s = 0; s < shards; ++s) {
+    EXPECT_TRUE(f.tables[s]->check_invariants()) << shards << " shards";
+  }
+}
+
+TEST(CrossEngine, ShardedHtMeetsSequentialSpec) {
+  check_sharded_ht_sequential_spec(1);
+  check_sharded_ht_sequential_spec(2);
+  check_sharded_ht_sequential_spec(8);
+  mem::EbrDomain::instance().drain();
+}
+
+// Sequential specification of the sharded hash table as one abstract map,
+// with whole-structure Size as a first-class operation (the cross-shard
+// all-lock path must linearize against the per-shard fast paths).
+struct ShardedMapModel {
+  using State = std::map<std::uint64_t, std::uint64_t>;
+  struct Op {
+    enum Kind : std::uint8_t { Find, Insert, Remove, Size };
+    Kind kind = Find;
+    std::uint64_t key = 0;
+    std::uint64_t value = 0;     // Insert argument
+    bool ok = false;             // Insert ("was new") / Remove ("was present")
+    bool found = false;          // Find: key present
+    std::uint64_t observed = 0;  // Find: value seen; Size: count seen
+  };
+
+  static bool apply(State& s, const Op& op) {
+    switch (op.kind) {
+      case Op::Find: {
+        const auto it = s.find(op.key);
+        if (op.found != (it != s.end())) return false;
+        return !op.found || it->second == op.observed;
+      }
+      case Op::Insert: {
+        const bool fresh = s.find(op.key) == s.end();
+        if (op.ok != fresh) return false;
+        s[op.key] = op.value;  // set semantics: update in place when present
+        return true;
+      }
+      case Op::Remove: {
+        if (op.ok != (s.find(op.key) != s.end())) return false;
+        s.erase(op.key);
+        return true;
+      }
+      case Op::Size:
+        return op.observed == s.size();
+    }
+    return false;
+  }
+};
+
+using ShardedTimedOp = harness::TimedOp<ShardedMapModel::Op>;
+
+// Barrier-separated rounds of randomized map ops on a tiny key space;
+// thread 0 additionally issues one cross-shard size() per round.
+bool sharded_history_linearizable(std::size_t shards, int num_threads,
+                                  int rounds, int ops_per_round,
+                                  std::uint64_t seed) {
+  using MOp = ShardedMapModel::Op;
+  ShardedFixture f(shards);
+  harness::HistoryClock clock;
+  std::vector<std::vector<std::vector<ShardedTimedOp>>> per_round(
+      static_cast<std::size_t>(rounds));
+  for (auto& r : per_round) r.resize(static_cast<std::size_t>(num_threads));
+  util::SpinBarrier barrier(static_cast<std::size_t>(num_threads));
+  std::vector<harness::HistoryRecorder<MOp>> recorders(
+      static_cast<std::size_t>(num_threads),
+      harness::HistoryRecorder<MOp>(clock));
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < num_threads; ++t) {
+    threads.emplace_back([&, t] {
+      util::Xoshiro256 rng(seed + static_cast<std::uint64_t>(t) * 77);
+      adapters::HtInsertOp<std::uint64_t, std::uint64_t> insert;
+      adapters::HtRemoveOp<std::uint64_t, std::uint64_t> remove;
+      adapters::HtFindOp<std::uint64_t, std::uint64_t> find;
+      auto& rec = recorders[static_cast<std::size_t>(t)];
+      for (int r = 0; r < rounds; ++r) {
+        barrier.arrive_and_wait();
+        rec.clear();
+        for (int i = 0; i < ops_per_round; ++i) {
+          // Keys 0..5 scatter across shards; low cardinality keeps the
+          // abstract state set small and the contention high.
+          const std::uint64_t key = rng.next_bounded(6);
+          const auto seq = rec.invoke();
+          if (t == 0 && i == 0) {
+            const std::size_t n = f.engine->size();
+            MOp op;
+            op.kind = MOp::Size;
+            op.observed = n;
+            rec.response(seq, op);
+            continue;
+          }
+          switch (rng.next_bounded(3)) {
+            case 0: {
+              const std::uint64_t value = rng.next_bounded(1000);
+              insert.set(key, value);
+              f.engine->execute(insert);
+              MOp op;
+              op.kind = MOp::Insert;
+              op.key = key;
+              op.value = value;
+              op.ok = insert.result();
+              rec.response(seq, op);
+              break;
+            }
+            case 1: {
+              remove.set(key);
+              f.engine->execute(remove);
+              MOp op;
+              op.kind = MOp::Remove;
+              op.key = key;
+              op.ok = remove.result();
+              rec.response(seq, op);
+              break;
+            }
+            default: {
+              find.set(key);
+              f.engine->execute(find);
+              MOp op;
+              op.kind = MOp::Find;
+              op.key = key;
+              op.found = find.result().has_value();
+              op.observed = op.found ? *find.result() : 0;
+              rec.response(seq, op);
+            }
+          }
+        }
+        barrier.arrive_and_wait();  // quiesce: round boundary
+        per_round[static_cast<std::size_t>(r)][static_cast<std::size_t>(t)] =
+            rec.ops();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  std::vector<std::vector<ShardedTimedOp>> merged;
+  for (auto& round : per_round) {
+    merged.push_back(harness::merge_histories(std::move(round)));
+  }
+  return harness::check_rounds<ShardedMapModel>(merged, {});
+}
+
+TEST(CrossEngine, ShardedHtHistoriesLinearizable) {
+  EXPECT_TRUE(sharded_history_linearizable(1, 3, 24, 4, 0xA1));
+  EXPECT_TRUE(sharded_history_linearizable(2, 3, 24, 4, 0xB2));
+  EXPECT_TRUE(sharded_history_linearizable(8, 3, 24, 4, 0xC3));
+  mem::EbrDomain::instance().drain();
 }
 
 }  // namespace

@@ -1,0 +1,35 @@
+// Known-bad: all-shard lock acquisitions that walk the shard indices
+// backwards (or with no visible ascending step). Two such loops running
+// concurrently with the canonical ascending walk deadlock; every
+// acquisition must use the one global ascending order (DESIGN.md §11).
+// lint:zone(core)
+
+#include <cstddef>
+#include <vector>
+
+struct FakeLock {
+  void lock() {}
+  bool try_lock() { return true; }
+  void unlock() {}
+};
+
+struct FakeShard {
+  FakeLock& lock() { return lock_; }
+  FakeLock lock_;
+};
+
+struct BadShardedEngine {
+  std::vector<FakeShard*> shards_;
+
+  void lock_all_descending() {
+    for (std::size_t i = shards_.size(); i-- > 0;) {  // expect-lint: cross-shard-lock-order
+      shards_[i]->lock().lock();
+    }
+  }
+
+  void try_lock_all_descending() {
+    for (std::size_t i = shards_.size() - 1; i + 1 > 0; --i) {  // expect-lint: cross-shard-lock-order
+      shards_[i]->lock().try_lock();
+    }
+  }
+};

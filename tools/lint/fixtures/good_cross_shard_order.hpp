@@ -1,0 +1,44 @@
+// Known-good: cross-shard lock handling that respects the global
+// ascending acquisition order (DESIGN.md §11). The descending RELEASE
+// loop must not be flagged — only acquisitions (`.lock();` statements)
+// are ordered; `->lock().unlock();` is the accessor spelling of a
+// release. The range-for acquisition is fine because container order is
+// index order.
+#pragma once
+// lint:zone(core)
+
+#include <cstddef>
+#include <vector>
+
+struct FakeLock {
+  void lock() {}
+  bool try_lock() { return true; }
+  void unlock() {}
+};
+
+struct FakeShard {
+  FakeLock& lock() { return lock_; }
+  FakeLock lock_;
+};
+
+struct FakeShardedEngine {
+  std::vector<FakeShard*> shards_;
+
+  void lock_all_ascending() {
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      shards_[i]->lock().lock();
+    }
+  }
+
+  void lock_all_range_for() {
+    for (FakeShard* shard : shards_) shard->lock().lock();
+  }
+
+  // Release order is unconstrained; the reverse walk is idiomatic and the
+  // unlock statement must not match the acquisition pattern.
+  void unlock_all() {
+    for (std::size_t i = shards_.size(); i-- > 0;) {
+      shards_[i]->lock().unlock();
+    }
+  }
+};

@@ -62,6 +62,16 @@ compiler dependency, by design):
                          '// tsa:' justification comment on the same line
                          or in the comment block directly above; the
                          macro's own preprocessor definition is exempt
+  cross-shard-lock-order a loop that acquires shard locks (a lock()/
+                         try_lock() statement in a loop whose header or
+                         body mentions shards) must walk the indices in
+                         ascending order: a classic for-loop needs ++/+=
+                         in its header and no --/-=, a range-for is fine
+                         (container order is index order). The global
+                         ascending acquisition order is what makes the
+                         cross-shard whole-structure path deadlock-free
+                         (DESIGN.md §11); release order is unconstrained
+                         because unlock statements do not match
   lint-directive         a lint:allow / lint:allow-file directive names a
                          rule this linter does not have (typo'd
                          suppressions otherwise fail silently open)
@@ -117,6 +127,8 @@ RULES: dict[str, str] = {
         "publication-array scans need visible selection-lock serialization",
     "tsa-escape-justification":
         "NO_THREAD_SAFETY_ANALYSIS needs an adjacent '// tsa:' comment",
+    "cross-shard-lock-order":
+        "all-shard lock acquisition loops must walk shard indices ascending",
     "lint-directive":
         "suppression directives must name rules that actually exist",
 }
@@ -194,6 +206,16 @@ TSA_JUSTIFICATION_RE = re.compile(r"//\s*tsa:")
 PHASE_ENTER_RE = re.compile(r"\btelemetry::phase_enter\s*\(")
 PHASE_EXIT_RE = re.compile(r"\btelemetry::phase_exit\s*\(")
 RETURN_RE = re.compile(r"\breturn\b")
+
+# Statement-anchored lock acquisition: `x.lock();` / `x->try_lock();`.
+# The trailing `;` matters — `shards_[i]->lock().unlock();` contains the
+# accessor spelling `->lock(` but is a release, not an acquisition, and
+# must not match. The `.`/`->` prefix keeps `unlock()` itself out.
+FOR_LOOP_RE = re.compile(r"\bfor\s*\(")
+SHARD_LOCK_ACQ_RE = re.compile(r"(?:\.|->)\s*(?:try_)?lock\s*\(\s*\)\s*;")
+SHARD_WORD_RE = re.compile(r"\bshard", re.IGNORECASE)
+ASCENDING_STEP_RE = re.compile(r"\+\+|\+=")
+DESCENDING_STEP_RE = re.compile(r"--|-=")
 
 
 class Diagnostic:
@@ -473,6 +495,72 @@ class FileLinter:
                 "this scan safe (unlocked scans race clear_slot against "
                 "concurrent combiners)")
 
+    def match_paren(self, open_idx: int) -> int:
+        """Index of the ')' matching the '(' at open_idx, or -1. Tracks all
+        bracket kinds so lambdas/subscripts inside the parens don't
+        unbalance the walk."""
+        depth = 0
+        for i in range(open_idx, len(self.stripped)):
+            c = self.stripped[i]
+            if c in "([{":
+                depth += 1
+            elif c in ")]}":
+                depth -= 1
+                if depth == 0:
+                    return i
+        return -1
+
+    def check_cross_shard_lock_order(self) -> None:
+        if self.zone not in ("core", "src", "tests"):
+            return
+        for m in FOR_LOOP_RE.finditer(self.stripped):
+            open_idx = m.end() - 1
+            close_idx = self.match_paren(open_idx)
+            if close_idx < 0:
+                continue
+            header = self.stripped[open_idx + 1:close_idx]
+            # Loop body: a braced block or a single statement.
+            i = close_idx + 1
+            while i < len(self.stripped) and self.stripped[i].isspace():
+                i += 1
+            if i >= len(self.stripped):
+                continue
+            if self.stripped[i] == "{":
+                end = self.match_brace(i)
+                body = self.stripped[i:end + 1] if end >= 0 else ""
+            else:
+                semi = self.stripped.find(";", i)
+                body = self.stripped[i:semi + 1] if semi >= 0 else ""
+            if not SHARD_LOCK_ACQ_RE.search(body):
+                continue
+            if not (SHARD_WORD_RE.search(header)
+                    or SHARD_WORD_RE.search(body)):
+                continue
+            # Range-for (no clause separators) walks container order, which
+            # for a shard vector IS index order.
+            depth = 0
+            semis = 0
+            for c in header:
+                if c in "([{":
+                    depth += 1
+                elif c in ")]}":
+                    depth -= 1
+                elif c == ";" and depth == 0:
+                    semis += 1
+            if semis < 2:
+                continue
+            if (DESCENDING_STEP_RE.search(header)
+                    or not ASCENDING_STEP_RE.search(header)):
+                self.report(
+                    self.line_of(m.start()), "cross-shard-lock-order",
+                    "shard-lock acquisition loop does not walk shard "
+                    "indices in ascending order; the cross-shard "
+                    "whole-structure path is deadlock-free only because "
+                    "every all-shard acquisition uses the same global "
+                    "ascending index order (DESIGN.md §11) — iterate "
+                    "`for (i = 0; i < n; ++i)` or range-for over the "
+                    "shard container")
+
     def first_call_arg(self, open_paren: int) -> str | None:
         """First argument of the call whose '(' sits at `open_paren` in the
         stripped text (text up to the first depth-1 comma or the matching
@@ -607,6 +695,7 @@ class FileLinter:
         self.check_seq_cst_justification()
         self.check_tsa_escape_justification()
         self.check_scan_requires_selection_lock()
+        self.check_cross_shard_lock_order()
         self.check_phase_telemetry_pairing()
         self.check_tx_bodies()
         return self.diags

@@ -32,6 +32,7 @@ TABLE_BENCHES = [
     "fig3_phase_breakdown",
     "fig4_combining_stats",
     "fig5_avl_tree",
+    "fig6_sharded",
     "pq_motivation",
     "deque_two_ends",
     "list_combining",
@@ -44,10 +45,10 @@ SUBSTRATE_BENCHES = ["micro_substrate", "micro_engine"]
 
 # The quick profile keeps total runtime around a minute on one core: a
 # subset of benches, two thread counts, and short measurement windows.
-QUICK_BENCHES = ["fig2_hash_table", "fig4_combining_stats", "micro_substrate",
-                 "micro_engine"]
+QUICK_BENCHES = ["fig2_hash_table", "fig4_combining_stats", "fig6_sharded",
+                 "micro_substrate", "micro_engine"]
 QUICK_ARGS = ["--threads=1,2", "--duration-ms=50", "--warmup-ms=10"]
-QUICK_WORKLOAD = {"fig2_hash_table": "40f"}
+QUICK_WORKLOAD = {"fig2_hash_table": "40f", "fig6_sharded": "40f"}
 
 
 def parse_args(argv):
