@@ -64,25 +64,35 @@ struct CombineCore {
   // batch wakes on its next status check instead of re-polling the
   // contended lock line.
   //
+  // Parking tier (§12): under WaitPolicy::SpinPark a competition loser
+  // sleeps on the epoch word itself. Every wake source it needs is
+  // covered: publish_combined advances the epoch (status may have become
+  // Done), and every selection-lock release path in the phase machine
+  // calls pa.wake_epoch_waiters() (the lock may now be free to take).
+  //
   // Returns true with the selection lock held, or false once the op is
   // Done (helped by another combiner).
-  static bool acquire_selection_or_done(Op& op, PubArray& pa)
+  static bool acquire_selection_or_done(Op& op, PubArray& pa,
+                                        util::WaitPolicy wait)
       TRY_ACQUIRE(true, pa.selection_lock()) {
-    util::ProportionalWait waiter;
-    std::uint64_t epoch = pa.combined_epoch();
+    util::TieredWait waiter(util::WaitSite::kSelectionLock, wait);
+    std::uint32_t epoch = pa.combined_epoch();
     for (;;) {
       if (op.status() != OpStatus::Announced) {
-        op.wait_done();
+        op.wait_done(wait);
         return false;
       }
-      const std::uint64_t now = pa.combined_epoch();
+      const std::uint32_t now = pa.combined_epoch();
       if (now != epoch) {
         epoch = now;
         waiter.reset();
         continue;  // a batch just retired; re-check our status first
       }
       if (pa.selection_lock().try_lock()) return true;
-      waiter.wait();
+      if (waiter.wait()) {
+        pa.park_on_epoch(now);
+        waiter.reset();
+      }
     }
   }
 
@@ -133,12 +143,13 @@ struct CombineCore {
   // is left for the under-lock fallback.
   static bool combine_on_htm(Lock& lock, DS& ds, Op& op, PubArray& pa,
                              std::vector<Op*>& ops, int budget,
-                             EngineStats& stats) {
+                             EngineStats& stats,
+                             util::WaitPolicy wait = util::WaitPolicy::SpinYield) {
     util::ExpBackoff backoff(
         util::backoff_seed(util::BackoffSite::kPhaseCombining));
     int failures = 0;
     while (failures < budget && !ops.empty()) {
-      lock.wait_until_free();
+      lock.wait_until_free(wait);
       std::size_t executed = 0;
       const bool committed = htm::attempt([&] {
         lock.subscribe();
@@ -163,9 +174,10 @@ struct CombineCore {
   // CombineUnderLock (paper phase 4): acquire the data-structure lock and
   // finish the remaining selected operations non-speculatively.
   static void combine_under_lock(Lock& lock, DS& ds, Op& op, PubArray& pa,
-                                 std::vector<Op*>& ops, EngineStats& stats) {
+                                 std::vector<Op*>& ops, EngineStats& stats,
+                                 util::WaitPolicy wait = util::WaitPolicy::SpinYield) {
     assert(!ops.empty());
-    sync::LockGuard<Lock> guard(lock);
+    sync::LockGuard<Lock> guard(lock, wait);
     while (!ops.empty()) {
       const std::size_t executed = op.run_multi(ds, std::span<Op*>(ops));
       assert(executed >= 1 && executed <= ops.size());

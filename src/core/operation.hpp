@@ -28,8 +28,8 @@
 
 #include "core/types.hpp"
 #include "sim_htm/txcell.hpp"
-#include "util/backoff.hpp"
 #include "util/cacheline.hpp"
+#include "util/parking.hpp"
 
 namespace hcf::core {
 
@@ -93,11 +93,13 @@ class Operation {
   }
 
   OpStatus status() const noexcept {
-    return static_cast<OpStatus>(status_.load());
+    return static_cast<OpStatus>(status_.load() & kStatusMask);
   }
 
   // Transactional status read (owner-side check inside TryVisible).
-  OpStatus status_tx() const { return static_cast<OpStatus>(status_.read()); }
+  OpStatus status_tx() const {
+    return static_cast<OpStatus>(status_.read() & kStatusMask);
+  }
 
   // Owner announces before publishing; sequenced before any transaction
   // that subscribes to the status, so a plain store suffices.
@@ -112,29 +114,60 @@ class Operation {
   }
 
   // Completion: record where the op completed, then release the owner.
-  // Plain release store — by this point the owner cannot be speculating on
-  // the operation (it was doomed at mark_being_helped, or it is us).
+  // Plain release exchange — by this point the owner cannot be speculating
+  // on the operation (it was doomed at mark_being_helped, or it is us).
+  // The displaced value tells us whether the owner parked on the status
+  // word (wait_done below); only then does the wake syscall fire.
   void mark_done(Phase phase) noexcept {
     completed_phase_ = phase;
-    status_.store_plain(static_cast<std::uint32_t>(OpStatus::Done));
+    const std::uint32_t old =
+        status_.exchange_plain(static_cast<std::uint32_t>(OpStatus::Done));
+    if ((old & kParkedBit) != 0) util::wake_all(status_.wait_address());
   }
 
   // Owner-side wait for a combiner to finish the operation. The owner
   // spins locally on its own descriptor's status line with bounded
   // exponential pause (the line is written exactly once more — at
   // mark_done — so growing pauses trade wake-up latency for near-zero
-  // coherence traffic), then yields so oversubscribed runs make progress.
-  void wait_done() const noexcept {
-    util::ProportionalWait waiter;
-    while (status() != OpStatus::Done) waiter.wait();
+  // coherence traffic), then yields; under WaitPolicy::SpinPark it
+  // finally publishes the parked bit (CAS, so a racing mark_done wins)
+  // and sleeps on its own status word until the combiner's wake.
+  void wait_done(
+      util::WaitPolicy wait = util::WaitPolicy::SpinYield) const noexcept {
+    util::TieredWait waiter(util::WaitSite::kOpStatus, wait);
+    for (;;) {
+      const std::uint32_t raw = status_.load();
+      if ((raw & kStatusMask) == static_cast<std::uint32_t>(OpStatus::Done)) {
+        return;
+      }
+      if (!waiter.wait()) continue;
+      std::uint32_t expected = raw;
+      if ((expected & kParkedBit) == 0) {
+        // Publish intent to sleep. A failed CAS means the status moved
+        // (almost certainly to Done) — loop and re-check before parking.
+        if (!status_.cas(expected, expected | kParkedBit)) continue;
+        expected |= kParkedBit;
+      }
+      util::park(status_.wait_address(), expected);
+      waiter.reset();
+    }
   }
 
   // Valid once status() == Done (or after the owner completed it itself).
   Phase completed_phase() const noexcept { return completed_phase_; }
 
  private:
+  // The status word's MSB marks "the owner is parked on this word"; the
+  // low bits hold the OpStatus. The bit can only be set while the status
+  // is BeingHelped (wait_done is only reached after a combiner selected
+  // the op, and the CAS above fails against any concurrent transition), so
+  // the sole later writer is mark_done — which checks it atomically via
+  // the exchange. status()/status_tx() mask it out.
+  static constexpr std::uint32_t kParkedBit = 0x8000'0000u;
+  static constexpr std::uint32_t kStatusMask = ~kParkedBit;
+
   int class_id_;
-  htm::TxCell<std::uint32_t> status_{
+  mutable htm::TxCell<std::uint32_t> status_{
       static_cast<std::uint32_t>(OpStatus::UnAnnounced)};
   Phase completed_phase_ = Phase::Private;
 };

@@ -51,6 +51,7 @@
 #include "sync/tx_lock.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/backoff.hpp"
+#include "util/parking.hpp"
 #include "util/thread_annotations.hpp"
 #include "util/thread_id.hpp"
 
@@ -68,6 +69,11 @@ struct PhasePolicy {
   int try_visible = 3;
   int try_combining = 5;
   bool announce = true;
+  // How this class's threads wait — on the data-structure lock, the
+  // selection-lock competition, and their own op status (DESIGN.md §12).
+  // SpinYield is the paper-faithful default; SpinPark escalates to futex
+  // parking and pays off under oversubscription (Figure 7).
+  util::WaitPolicy wait = util::WaitPolicy::SpinYield;
 
   static constexpr PhasePolicy paper_default() noexcept {
     return {2, 3, 5, true};
@@ -123,12 +129,15 @@ class AtomicPolicy {
     try_visible_.store(p.try_visible, std::memory_order_relaxed);
     try_combining_.store(p.try_combining, std::memory_order_relaxed);
     announce_.store(p.announce, std::memory_order_relaxed);
+    wait_.store(static_cast<std::uint8_t>(p.wait), std::memory_order_relaxed);
   }
   PhasePolicy load() const noexcept {
     return {try_private_.load(std::memory_order_relaxed),
             try_visible_.load(std::memory_order_relaxed),
             try_combining_.load(std::memory_order_relaxed),
-            announce_.load(std::memory_order_relaxed)};
+            announce_.load(std::memory_order_relaxed),
+            static_cast<util::WaitPolicy>(
+                wait_.load(std::memory_order_relaxed))};
   }
 
  private:
@@ -136,6 +145,7 @@ class AtomicPolicy {
   std::atomic<int> try_visible_;    // lint:allow(raw-atomic-in-core)
   std::atomic<int> try_combining_;  // lint:allow(raw-atomic-in-core)
   std::atomic<bool> announce_;      // lint:allow(raw-atomic-in-core)
+  std::atomic<std::uint8_t> wait_;  // lint:allow(raw-atomic-in-core)
 };
 
 }  // namespace detail
@@ -234,14 +244,14 @@ class PhaseMachine {
     }
 
     if constexpr (kMode == CombinerMode::None) {
-      run_own_under_lock(op);
+      run_own_under_lock(op, policy.wait);
       return Phase::UnderLock;
     } else if constexpr (kMode == CombinerMode::UnderGlobalLock) {
       if (!policy.announce) {
-        run_own_under_lock(op);
+        run_own_under_lock(op, policy.wait);
         return Phase::UnderLock;
       }
-      return announce_and_combine_global(op, pa);
+      return announce_and_combine_global(op, pa, policy.wait);
     } else {
       return visible_then_combine(op, pa, policy);
     }
@@ -282,7 +292,7 @@ class PhaseMachine {
     util::ExpBackoff backoff(
         util::backoff_seed(util::BackoffSite::kPhasePrivate));
     for (int attempt = 0; attempt < policy.try_private; ++attempt) {
-      lock_.wait_until_free();
+      lock_.wait_until_free(policy.wait);
       const bool committed = htm::attempt([&] {
         lock_.subscribe();
         op.run_seq(ds_);
@@ -308,15 +318,15 @@ class PhaseMachine {
     for (int attempt = 0; attempt < policy.try_visible; ++attempt) {
       // A combiner may have selected (and completed) us already.
       if (op.status() != OpStatus::Announced) {
-        op.wait_done();
+        op.wait_done(policy.wait);
         return true;
       }
-      lock_.wait_until_free();
+      lock_.wait_until_free(policy.wait);
       if constexpr (kMode == CombinerMode::SingleHolder) {
         // An active combiner holds the selection lock for its entire
         // combining phase; a transaction started before it releases would
         // only abort on the subscription below.
-        pa.selection_lock().wait_until_free();
+        pa.selection_lock().wait_until_free(policy.wait);
       }
       const bool committed = htm::attempt([&] {
         lock_.subscribe();
@@ -368,7 +378,8 @@ class PhaseMachine {
     }
     if (!done_combining) {
       telemetry::phase_enter(static_cast<int>(Phase::UnderLock));
-      Core::combine_under_lock(lock_, ds_, op, pa, ops_to_help, stats_);
+      Core::combine_under_lock(lock_, ds_, op, pa, ops_to_help, stats_,
+                               policy.wait);
       telemetry::phase_exit(static_cast<int>(Phase::UnderLock), true);
     }
     // A combining session (if one started) is over once every selected op
@@ -388,6 +399,10 @@ class PhaseMachine {
   void release_selection_if_held(PubArray& pa, bool holding) {
     if (holding) {
       pa.selection_lock().unlock();
+      // Liveness (§12): a competition loser may have parked on the epoch
+      // just after this session's final publish; the release is its last
+      // wake source, so every session-ending unlock must issue one.
+      pa.wake_epoch_waiters();
       telemetry::sel_lock_released();
     }
   }
@@ -412,20 +427,22 @@ class PhaseMachine {
                      std::vector<Op*>& ops_to_help, std::size_t& session_ops,
                      bool& holding_selection) {
     if (policy.announce) {
-      if (!Core::acquire_selection_or_done(op, pa)) return true;
+      if (!Core::acquire_selection_or_done(op, pa, policy.wait)) return true;
       telemetry::sel_lock_acquired();
       if (op.status() != OpStatus::Announced) {
         // Selected between our last check and the lock acquisition; the
         // selecting combiner is guaranteed to finish our op.
         pa.selection_lock().unlock();
+        pa.wake_epoch_waiters();  // liveness, see release_selection_if_held
         telemetry::sel_lock_released();
-        op.wait_done();
+        op.wait_done(policy.wait);
         return true;
       }
       Core::template select_batch<EP::kMarkBeingHelped>(op, pa, ops_to_help,
                                                         stats_);
       if constexpr (kMode == CombinerMode::Multi) {
         pa.selection_lock().unlock();
+        pa.wake_epoch_waiters();  // liveness, see release_selection_if_held
         telemetry::sel_lock_released();
       } else {
         holding_selection = true;
@@ -447,25 +464,28 @@ class PhaseMachine {
       ops_to_help.push_back(&op);
     }
     return Core::combine_on_htm(lock_, ds_, op, pa, ops_to_help,
-                                policy.try_combining, stats_);
+                                policy.try_combining, stats_, policy.wait);
   }
 
   // ---- Phases 2+4, UnderGlobalLock (flat combining) ------------------
-  Phase announce_and_combine_global(Op& op, PubArray& pa) {
+  Phase announce_and_combine_global(Op& op, PubArray& pa,
+                                    util::WaitPolicy wait) {
     op.mark_announced();
     pa.add(&op);
     telemetry::phase_enter(static_cast<int>(Phase::Visible));
     // Waiter protocol (DESIGN.md §9.3): bounded exponential pause on our
     // own status line; when the combiner's epoch moves a batch just
-    // retired, so re-check status before re-polling the lock line.
-    util::ProportionalWait waiter;
-    std::uint64_t epoch = pa.combined_epoch();
+    // retired, so re-check status before re-polling the lock line. Under
+    // SpinPark losers sleep on the epoch word; combine_global's publishes
+    // and every combiner's wake_all_epoch_waiters (below) wake them.
+    util::TieredWait waiter(util::WaitSite::kSelectionLock, wait);
+    std::uint32_t epoch = pa.combined_epoch();
     for (;;) {
       if (op.status() == OpStatus::Done) {
         telemetry::phase_exit(static_cast<int>(Phase::Visible), true);
         return op.completed_phase();
       }
-      const std::uint64_t now = pa.combined_epoch();
+      const std::uint32_t now = pa.combined_epoch();
       if (now != epoch) {
         epoch = now;
         waiter.reset();
@@ -476,24 +496,41 @@ class PhaseMachine {
         telemetry::phase_enter(static_cast<int>(Phase::UnderLock));
         Core::combine_global(lock_, ds_, op, pa, stats_, scan_rounds_);
         lock_.unlock();
+        // Liveness (§12): the global lock serves every class's array, and
+        // a waiter of *any* array may have parked just after our last
+        // publish on it, watching an epoch we will never bump again. The
+        // release is their signal that the lock is worth re-trying.
+        wake_all_epoch_waiters();
         telemetry::phase_exit(static_cast<int>(Phase::UnderLock), true);
         // The combiner always executes its own announced operation.
         assert(op.status() == OpStatus::Done);
         return op.completed_phase();
       }
-      waiter.wait();
+      if (waiter.wait()) {
+        pa.park_on_epoch(now);
+        waiter.reset();
+      }
     }
   }
 
   // ---- Phase 4, own op only ------------------------------------------
-  void run_own_under_lock(Op& op) {
+  void run_own_under_lock(Op& op, util::WaitPolicy wait) {
     telemetry::phase_enter(static_cast<int>(Phase::UnderLock));
     {
-      sync::LockGuard<Lock> guard(lock_);
+      sync::LockGuard<Lock> guard(lock_, wait);
       op.run_seq(ds_);
+    }
+    if constexpr (kMode == CombinerMode::UnderGlobalLock) {
+      // A never-announced class just cycled the global lock; announced
+      // waiters parked on their arrays' epochs must re-try it (§12).
+      wake_all_epoch_waiters();
     }
     telemetry::phase_exit(static_cast<int>(Phase::UnderLock), true);
     complete(op, Phase::UnderLock);
+  }
+
+  void wake_all_epoch_waiters() noexcept {
+    for (auto& a : arrays_) a->wake_epoch_waiters();
   }
 
   void complete(Op& op, Phase phase) {

@@ -36,6 +36,7 @@
 #include "sim_htm/txcell.hpp"
 #include "sync/tx_lock.hpp"
 #include "util/cacheline.hpp"
+#include "util/parking.hpp"
 #include "util/thread_annotations.hpp"
 #include "util/thread_id.hpp"
 
@@ -157,19 +158,33 @@ class PublicationArray {
     return occupancy_[w].value.load(std::memory_order_acquire);
   }
 
-  // ---- combined-count epoch (waiter protocol, DESIGN.md §9.3) ----------
+  // ---- combined-count epoch (waiter protocol, DESIGN.md §9.3 + §12) ----
   // A combiner publishes how many operations it just retired; threads
   // competing for the selection lock watch the epoch and re-check their own
   // op's status when it moves, waking in O(1) after being helped instead of
-  // re-polling the contended lock line.
+  // re-polling the contended lock line. The epoch is a 32-bit parkable
+  // eventcount: under WaitPolicy::SpinPark competition losers sleep on it
+  // (park_on_epoch) and publish_combined wakes the cohort. Engines must
+  // also call wake_epoch_waiters() whenever they release a lock that ends
+  // a combining session — a waiter may have parked just after the
+  // session's final publish, watching a value that would otherwise never
+  // move again.
 
-  std::uint64_t combined_epoch() const noexcept {
-    return combined_epoch_.value.load(std::memory_order_acquire);
+  std::uint32_t combined_epoch() const noexcept {
+    return combined_epoch_.value.load();
   }
 
   void publish_combined(std::size_t retired) noexcept {
-    combined_epoch_.value.fetch_add(retired, std::memory_order_release);
+    combined_epoch_.value.advance(static_cast<std::uint32_t>(retired));
   }
+
+  // Sleep until the epoch moves past `seen` (or spuriously; callers
+  // re-check their predicate in a loop).
+  void park_on_epoch(std::uint32_t seen) noexcept {
+    combined_epoch_.value.park_if(seen);
+  }
+
+  void wake_epoch_waiters() noexcept { combined_epoch_.value.wake_waiters(); }
 
   SelectionLock& selection_lock() noexcept RETURN_CAPABILITY(selection_lock_) {
     return selection_lock_;
@@ -200,8 +215,7 @@ class PublicationArray {
   // Occupancy hint words; see header comment for why these are raw atomics.
   util::CacheAligned<std::atomic<std::uint64_t>>  // lint:allow(raw-atomic-in-core)
       occupancy_[kOccupancyWords];
-  util::CacheAligned<std::atomic<std::uint64_t>>  // lint:allow(raw-atomic-in-core)
-      combined_epoch_;
+  util::CacheAligned<util::ParkableEpoch> combined_epoch_;
   SelectionLock selection_lock_;
 };
 

@@ -549,6 +549,20 @@ inline T strong_fetch_add(T* addr, T delta) noexcept {
   return cur;
 }
 
+template <detail::TxValue T>
+inline T strong_exchange(T* addr, T value) noexcept {
+  protocol::check_strong_op(in_txn(), "strong_exchange");
+  assert(protocol::kEnabled ||
+         (!in_txn() && "strong operations are not allowed inside a txn"));
+  auto& orec = detail::orec_for(addr);
+  const std::uint64_t ver = detail::strong_lock_orec(orec);
+  const T cur = detail::atomic_load_acquire(addr);
+  detail::atomic_store_release(addr, value);
+  detail::strong_unlock_orec(orec, ver, /*bump=*/true);
+  stats().strong_stores.add();
+  return cur;
+}
+
 // Blocks until no transaction is inside commit write-back. Called by
 // elidable-lock acquirers after the lock word is set: every transaction
 // validating after that point sees the bumped lock orec and aborts, and

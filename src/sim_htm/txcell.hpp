@@ -43,6 +43,7 @@ class TxCell {
     return strong_cas(&value_, expected, desired);
   }
   T fetch_add(T delta) noexcept { return strong_fetch_add(&value_, delta); }
+  T exchange(T v) noexcept { return strong_exchange(&value_, v); }
 
   // Plain release store, *without* dooming subscribed transactions. Only
   // valid for transitions no live transaction's correctness depends on
@@ -50,12 +51,27 @@ class TxCell {
   // helped operation's owner can no longer be speculating on it).
   void store_plain(T v) noexcept { detail::atomic_store_release(&value_, v); }
 
+  // Plain (non-dooming) exchange, same validity rules as store_plain; used
+  // where the transition must also report the displaced value — e.g.
+  // mark_done observing whether a parked-waiter flag was set.
+  T exchange_plain(T v) noexcept {
+    return std::atomic_ref<T>(value_).exchange(v, std::memory_order_acq_rel);
+  }
+
   // Transactional (buffered) write — used when a cell must change atomically
   // with the rest of a transaction (e.g. publication-slot removal).
   void tx_write(T v) { htm::write(&value_, v); }
 
   // Direct initialization before the cell is shared. Not thread-safe.
   void init(T v) noexcept { value_ = v; }
+
+  // Location of the underlying word, for kernel-assisted waiting
+  // (util::park / util::wake_*). This exposes *where* the cell lives, not
+  // a protocol bypass: the only accesses through it are the futex
+  // syscall's own equality check and util::park's atomic_ref re-reads —
+  // both reads, both racing benignly with strong mutations by design
+  // (a parked waiter always re-checks its predicate after waking).
+  const T* wait_address() const noexcept { return &value_; }
 
  private:
   T value_;

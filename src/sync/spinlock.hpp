@@ -6,8 +6,8 @@
 
 #include <atomic>
 
-#include "util/backoff.hpp"
 #include "util/cacheline.hpp"
+#include "util/parking.hpp"
 #include "util/thread_annotations.hpp"
 
 namespace hcf::sync {
@@ -19,7 +19,9 @@ class CAPABILITY("spinlock") SpinLock {
   SpinLock& operator=(const SpinLock&) = delete;
 
   void lock() noexcept ACQUIRE() {
-    util::SpinWait waiter;
+    // Internal bookkeeping lock: critical sections are a few loads, so the
+    // wait never escalates past spin/yield (kSpinLockWord never parks).
+    util::TieredWait waiter(util::WaitSite::kSpinLockWord);
     for (;;) {
       if (try_lock()) return;
       while (locked_.load(std::memory_order_relaxed)) waiter.wait();

@@ -23,9 +23,12 @@ enum class EventType : std::uint8_t {
   ShardRoute = 10,     // code = shard index an operation was routed to
   CrossShardBegin = 11,  // arg = shard count of an all-shard sweep
   CrossShardEnd = 12,    // arg = shard count of an all-shard sweep
+  Park = 13,             // thread entered a kernel wait (futex/parking lot)
+  Unpark = 14,  // thread left a kernel wait; code = 1 iff spurious,
+                // arg = time parked (ns, saturated at u32)
 };
 
-inline constexpr int kNumEventTypes = 13;
+inline constexpr int kNumEventTypes = 15;
 
 // Event::shard when the recording thread was not executing inside any
 // shard of a sharded meta-engine.
@@ -46,6 +49,8 @@ inline const char* to_string(EventType t) noexcept {
     case EventType::ShardRoute: return "shard-route";
     case EventType::CrossShardBegin: return "cross-shard-begin";
     case EventType::CrossShardEnd: return "cross-shard-end";
+    case EventType::Park: return "park";
+    case EventType::Unpark: return "unpark";
   }
   return "?";
 }

@@ -90,6 +90,7 @@ class Domain {
   RuntimeGate& gate() noexcept { return detail::gate(); }
   EventRing<>& ring(std::size_t tid) noexcept { return rings_[tid].value; }
   util::LatencyHistogram& latency() noexcept { return latency_; }
+  util::LatencyHistogram& park_latency() noexcept { return park_latency_; }
 
   std::chrono::steady_clock::time_point epoch() const noexcept {
     return epoch_;
@@ -137,6 +138,7 @@ class Domain {
       r.value.clear();
     }
     latency_.reset();
+    park_latency_.reset();
   }
 
  private:
@@ -144,6 +146,7 @@ class Domain {
 
   std::chrono::steady_clock::time_point epoch_;
   util::LatencyHistogram latency_;
+  util::LatencyHistogram park_latency_;
   std::array<util::CacheAligned<EventRing<>>, util::kMaxThreads> rings_{};
 };
 
@@ -215,6 +218,27 @@ inline void op_latency(std::uint64_t ns) noexcept {
          ns > UINT32_MAX ? UINT32_MAX : static_cast<std::uint32_t>(ns));
 }
 
+// ---- parking hooks (util/parking.hpp calls these around kernel waits) ----
+// park_begin records the Park event and returns the timestamp park_end
+// subtracts for the park-latency histogram; both fold to one relaxed load
+// while telemetry is disabled (the syscall they bracket dwarfs the clock
+// reads when it is enabled).
+
+inline std::uint64_t park_begin() noexcept {
+  if (!enabled()) return 0;
+  record(EventType::Park);
+  return Domain::instance().now_ns();
+}
+
+inline void park_end(std::uint64_t t0, bool spurious) noexcept {
+  if (!enabled()) return;
+  Domain& d = Domain::instance();
+  const std::uint64_t ns = t0 == 0 ? 0 : d.now_ns() - t0;
+  d.park_latency().record(ns);
+  record(EventType::Unpark, spurious ? 1 : 0,
+         ns > UINT32_MAX ? UINT32_MAX : static_cast<std::uint32_t>(ns));
+}
+
 inline void reset() noexcept { Domain::instance().reset(); }
 
 // ---- Mode-independent snapshot API (exporters build on these) ----------
@@ -238,6 +262,13 @@ inline std::uint64_t latency_percentile(double q) noexcept {
 inline std::uint64_t latency_samples() noexcept {
   return Domain::instance().latency().total();
 }
+// Same, for time spent parked in kernel waits.
+inline std::uint64_t park_latency_percentile(double q) noexcept {
+  return Domain::instance().park_latency().percentile(q);
+}
+inline std::uint64_t park_latency_samples() noexcept {
+  return Domain::instance().park_latency().total();
+}
 
 #else  // !HCF_TELEMETRY — every hook folds to nothing.
 
@@ -253,6 +284,8 @@ class ShardScope {
 inline void record(EventType, std::uint8_t = 0, std::uint32_t = 0) noexcept {}
 inline bool should_sample_op() noexcept { return false; }
 inline void op_latency(std::uint64_t) noexcept {}
+inline std::uint64_t park_begin() noexcept { return 0; }
+inline void park_end(std::uint64_t, bool) noexcept {}
 inline void reset() noexcept {}
 
 inline void snapshot_all(
@@ -261,6 +294,8 @@ inline std::uint64_t total_pushed() noexcept { return 0; }
 inline std::uint64_t total_dropped() noexcept { return 0; }
 inline std::uint64_t latency_percentile(double) noexcept { return 0; }
 inline std::uint64_t latency_samples() noexcept { return 0; }
+inline std::uint64_t park_latency_percentile(double) noexcept { return 0; }
+inline std::uint64_t park_latency_samples() noexcept { return 0; }
 
 #endif  // HCF_TELEMETRY
 

@@ -4,7 +4,6 @@
 #pragma once
 
 #include <cstdint>
-#include <thread>
 
 #include "util/rng.hpp"
 #include "util/thread_id.hpp"
@@ -29,55 +28,11 @@ inline void spin_for(std::uint64_t iters) noexcept {
   for (std::uint64_t i = 0; i < iters; ++i) cpu_relax();
 }
 
-// Spin-then-yield waiter for potentially long waits (ticket queues,
-// waiting on a combiner). Spins briefly for the uncontended case, then
-// yields the CPU so oversubscribed configurations make progress instead of
-// burning whole scheduling quanta.
-class SpinWait {
- public:
-  void wait() noexcept {
-    if (spins_ < kSpinLimit) {
-      ++spins_;
-      cpu_relax();
-    } else {
-      yield_now();
-    }
-  }
-
-  void reset() noexcept { spins_ = 0; }
-
- private:
-  static void yield_now() noexcept { std::this_thread::yield(); }
-  static constexpr std::uint32_t kSpinLimit = 128;
-  std::uint32_t spins_ = 0;
-};
-
-// Waiter-side local spinning with bounded exponential pause: each wait
-// spins for the current pause length and doubles it up to a cap, then
-// switches to yielding. Unlike ExpBackoff this carries no RNG — waiters
-// watch a line written exactly once (their own op's status, a combined
-// epoch), so there is no convoy to de-synchronize; the growing pause just
-// bounds how often the watched line is re-read while keeping short waits
-// near-instant. Used by Operation::wait_done and the engines'
-// selection-lock competition loops.
-class ProportionalWait {
- public:
-  void wait() noexcept {
-    if (pause_ <= kMaxPause) {
-      spin_for(pause_);
-      pause_ <<= 1;
-    } else {
-      std::this_thread::yield();
-    }
-  }
-
-  void reset() noexcept { pause_ = kMinPause; }
-
- private:
-  static constexpr std::uint64_t kMinPause = 4;
-  static constexpr std::uint64_t kMaxPause = 256;
-  std::uint64_t pause_ = kMinPause;
-};
+// NOTE: the old SpinWait / ProportionalWait waiters lived here. Both are
+// unified behind util::TieredWait (util/parking.hpp), which adds the
+// kernel-parking tier and moves their spin/yield limits into the
+// per-WaitSite tuning table. This header keeps only the raw pause
+// primitives and the jittered inter-attempt backoff.
 
 // Registry of per-site backoff seed bases. Every ExpBackoff call site
 // derives its seed here — site base + thread id — so two threads (or two

@@ -1,0 +1,41 @@
+// lint:zone(tests)
+// Known-bad: futex parking reached from inside a transaction body. A
+// parked transaction deadlocks against the quiescence gate (the committer
+// spins on write-back while the parked waiter holds a pending commit
+// slot); on real HTM the deschedule simply aborts the transaction. Wake
+// syscalls are equally illegal — any futex traffic inside a transaction
+// is a non-transactional side effect.
+//
+// Self-contained stubs (the lexical linter never compiles fixtures).
+
+namespace hcf::htm {
+template <typename F>
+bool attempt(F&& f) {
+  f();
+  return true;
+}
+}  // namespace hcf::htm
+
+namespace hcf::util {
+inline void park(const unsigned* /*addr*/, unsigned /*expected*/) {}
+}  // namespace hcf::util
+
+inline void futex_wait(const void* /*addr*/, unsigned /*expected*/) {}
+inline void futex_wake(const void* /*addr*/, int /*count*/) {}
+
+struct Epoch {
+  void park_if(unsigned /*seen*/) {}
+  void park_on_epoch(unsigned /*seen*/) {}
+  void wake_epoch_waiters() {}
+};
+
+void parking_inside_tx(Epoch& epoch, unsigned* word) {
+  hcf::htm::attempt([&] {
+    hcf::util::park(word, 0u);       // expect-lint: tx-blocking-call
+    epoch.park_if(0u);               // expect-lint: tx-blocking-call
+    epoch.park_on_epoch(1u);         // expect-lint: tx-blocking-call
+    epoch.wake_epoch_waiters();      // expect-lint: tx-blocking-call
+    futex_wait(word, 0u);            // expect-lint: tx-blocking-call
+    futex_wake(word, 1);             // expect-lint: tx-blocking-call
+  });
+}

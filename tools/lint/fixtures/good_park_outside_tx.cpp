@@ -1,0 +1,34 @@
+// lint:zone(tests)
+// Known-good: parking and waking are perfectly legal OUTSIDE transaction
+// bodies — that is exactly where the wait hierarchy lives (a waiter parks
+// between speculative attempts, never inside one). The tx-blocking-call
+// rule must not fire on park/wake traffic around an attempt.
+
+namespace hcf::htm {
+template <typename F>
+bool attempt(F&& f) {
+  f();
+  return true;
+}
+}  // namespace hcf::htm
+
+namespace hcf::util {
+inline void park(const unsigned* /*addr*/, unsigned /*expected*/) {}
+inline void wake_all(const unsigned* /*addr*/) {}
+}  // namespace hcf::util
+
+struct Epoch {
+  void park_if(unsigned /*seen*/) {}
+  void wake_epoch_waiters() {}
+};
+
+int shared_value = 0;
+
+bool run(Epoch& epoch, unsigned* word) {
+  epoch.park_if(0u);  // waiting for a combiner, outside any transaction
+  const bool committed = hcf::htm::attempt([&] { shared_value += 1; });
+  hcf::util::park(word, 0u);
+  hcf::util::wake_all(word);
+  epoch.wake_epoch_waiters();
+  return committed;
+}

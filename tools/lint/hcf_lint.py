@@ -169,6 +169,15 @@ BLOCKING_RES = [
     (re.compile(r"\bsleep(?:_for|_until)?\s*\("), "sleeping"),
     (re.compile(r"\bstd::this_thread::yield\s*\("), "yielding"),
     (re.compile(r"\barrive_and_wait\s*\("), "barrier wait"),
+    # Parking tier (util/parking.hpp): a parked transaction deadlocks the
+    # quiescence gate; on real HTM the deschedule aborts it. Wakes are
+    # syscalls too — any futex traffic inside a transaction is a protocol
+    # break, sleeping or not.
+    (re.compile(r"\bfutex_wait\w*\s*\("), "futex wait"),
+    (re.compile(r"\bfutex_wake\w*\s*\("), "futex wake syscall"),
+    (re.compile(r"(?:\butil::|\.|->)park\s*\("), "futex parking"),
+    (re.compile(r"\bpark_(?:if|on_epoch)\s*\("), "futex parking"),
+    (re.compile(r"\bwake_epoch_waiters\s*\("), "epoch wake syscall"),
 ]
 
 # Strong (non-transactional) mutations: dooming operations that must never

@@ -87,6 +87,11 @@ BLOCKING_NAMES = {
     "lock", "try_lock", "join", "sleep_for", "sleep_until", "yield",
     "wait", "wait_done", "wait_until_free", "wait_writeback_drain",
     "arrive_and_wait",
+    # Parking tier (util/parking.hpp): a parked transaction deadlocks the
+    # quiescence gate; on real HTM the deschedule aborts it. hcf::util is
+    # deliberately NOT in CUTOFF_PREFIXES, so chains through TieredWait /
+    # ParkableEpoch are followed to these sinks.
+    "park", "park_if", "park_on_epoch", "futex_wait",
 }
 ALLOC_NAMES = {"malloc", "calloc", "realloc", "aligned_alloc", "free"}
 IO_NAMES = {

@@ -1,0 +1,30 @@
+// The cross-function parking violation the lexical linter provably
+// misses: the htm::attempt body only calls wait_for_combiner(e) —
+// lexically spotless — but the helper parks on the epoch word, so the
+// transaction would deschedule mid-speculation (deadlocking the
+// simulator's quiescence gate; aborting on real HTM).
+// selftest_sema.py asserts that hcf_lint.py emits ZERO diagnostics for
+// this file while hcf_semalint.py flags it.
+//
+// Self-contained on purpose: the stub attempt() has the same shape as
+// hcf::htm::attempt so fixtures parse with no include paths.
+
+namespace hcf::htm {
+template <typename F>
+bool attempt(F&& f) {
+  f();
+  return true;
+}
+}  // namespace hcf::htm
+
+struct Epoch {
+  void park_if(unsigned) {}
+};
+
+void wait_for_combiner(Epoch& e) {
+  e.park_if(0u);  // expect-sema: sema-tx-transitive-purity
+}
+
+bool run(Epoch& e) {
+  return hcf::htm::attempt([&] { wait_for_combiner(e); });
+}

@@ -1,0 +1,23 @@
+// Known-good: parking is legal OUTSIDE transactions — the wait hierarchy
+// parks between speculative attempts, never inside one. The purity walk
+// is scoped to code reachable from an htm::attempt body, so the park_if
+// in the competition loop below must not be flagged.
+
+namespace hcf::htm {
+template <typename F>
+bool attempt(F&& f) {
+  f();
+  return true;
+}
+}  // namespace hcf::htm
+
+struct Epoch {
+  void park_if(unsigned) {}
+};
+
+int shared_value = 0;
+
+bool run(Epoch& e) {
+  e.park_if(0u);  // competition loser parking, outside any transaction
+  return hcf::htm::attempt([&] { shared_value += 1; });
+}
