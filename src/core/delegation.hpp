@@ -1,0 +1,249 @@
+// Parallel combining: delegation descriptors and the commutativity graph.
+//
+// The paper's combiner applies every selected operation single-handed while
+// the owners wait — combining throughput is capped at one thread's apply
+// speed. Following "Parallel Combining" (arXiv 1710.07588), the combiner
+// instead hands disjoint key-groups of the batch back to *waiting clients*:
+// for each delegated group the combiner marks the group's first operation
+// (the "assignee") Delegated and stores a pointer to a DelegateGroup in the
+// assignee's descriptor. The assignee's owner — blocked in wait_done — wakes,
+// claims the group with a single CAS on its own status word
+// (Delegated -> BeingHelped), applies the whole group via run_multi on its
+// own HTM attempt, and reports completion through the group's done word.
+// The combiner applies the rest of the batch itself, then sweeps unclaimed
+// groups with the same claim CAS: whoever wins the CAS owns the group, so a
+// delegate that is descheduled (or never wakes) costs latency, never
+// progress, and an op is applied exactly once.
+//
+// Lifetime discipline (DESIGN.md §13): all group storage lives in a
+// DelegationSession on the *combiner's stack*. A delegate may only touch
+// that storage between winning the claim CAS and its final store to the
+// group's done word (DelegateGroup::finish); the combiner does not return
+// from the session until every group's done word reads 1, so the stack
+// frame outlives every reader. Conversely the delegate copies the group's
+// op pointers into its own scratch buffer *before* applying, so it never
+// reads session storage after signalling done.
+//
+// The ConflictGraph ("Semantic Lock", arXiv 2606.24250) decides *which*
+// groups may be delegated into one concurrently-applied session: a pair of
+// operation classes is admitted only if it is seeded (statically, per data
+// structure — e.g. inserts to disjoint hash buckets commute) and has not
+// been demoted by observed HTM conflict aborts. Demotion is refined online
+// from abort telemetry and decays, so a workload shift re-probes the pair.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+
+#include "core/engine_stats.hpp"
+#include "util/parking.hpp"
+#include "util/thread_id.hpp"
+
+namespace hcf::core {
+
+template <typename DS>
+class Operation;
+
+// Delegation only pays when the combiner has enough work to share: below
+// this batch size the publish/claim/report handshake costs more than the
+// serial apply it replaces.
+inline constexpr std::size_t kMinDelegateBatch = 4;
+// A delegated group must amortize one claim CAS + one HTM attempt + one
+// wake; singleton groups stay with the combiner.
+inline constexpr std::size_t kMinDelegateGroupSize = 2;
+// Per-session cap on published groups (the combiner keeps the remainder).
+inline constexpr std::size_t kMaxDelegateGroups = 8;
+// Delegates retry HTM less than a combiner would (kDefaultHtmBudget): their
+// fallback is the data-structure lock, and a stubborn delegate holds up the
+// whole session's retirement.
+inline constexpr int kDelegateHtmBudget = 6;
+
+// A delegated unit of work: a contiguous run of same-delegate-key operations
+// copied into the session arena. `done` is the completion channel between
+// whoever wins the claim (delegate or fallback combiner) and the combiner's
+// end-of-session sweep; it reuses the operation status word's parked-bit
+// protocol so the combiner can futex-park on it.
+template <typename DS>
+struct DelegateGroup {
+  static constexpr std::uint32_t kParkedBit = 0x8000'0000u;
+
+  Operation<DS>** ops = nullptr;  // into DelegationSession::ops_
+  std::uint32_t count = 0;
+  std::uint32_t classes = 0;  // bitmask of class ids in this group
+
+  // Single writer: the claim winner. The combiner only reads/parks.
+  // Raw atomic, not TxCell: never accessed inside a transaction.
+  std::atomic<std::uint32_t> done{0};  // lint:allow(raw-atomic-in-core)
+
+  // The claim winner's LAST touch of the group (and of session storage).
+  void finish() noexcept {
+    const std::uint32_t old = done.exchange(1u, std::memory_order_acq_rel);
+    if ((old & kParkedBit) != 0) util::wake_all(done);
+  }
+
+  bool finished() const noexcept {
+    return (done.load(std::memory_order_acquire) & ~kParkedBit) != 0;
+  }
+};
+
+// Stack-allocated arena for one combining session's delegated groups. The
+// combiner fills it under no lock (after releasing the selection lock),
+// publishes assignees, and must drain it (finish_delegation) before the
+// enclosing frame returns.
+template <typename DS>
+class DelegationSession {
+ public:
+  std::size_t num_groups() const noexcept { return num_groups_; }
+  DelegateGroup<DS>& group(std::size_t i) noexcept {
+    assert(i < num_groups_);
+    return groups_[i];
+  }
+
+  // Appends a group over ops[0..count); returns nullptr when the session
+  // arena is full (group caps, kMaxThreads ops total).
+  DelegateGroup<DS>* add_group(Operation<DS>* const* ops, std::uint32_t count,
+                               std::uint32_t classes) noexcept {
+    if (num_groups_ == kMaxDelegateGroups) return nullptr;
+    if (num_ops_ + count > util::kMaxThreads) return nullptr;
+    DelegateGroup<DS>& g = groups_[num_groups_];
+    g.ops = &ops_[num_ops_];
+    g.count = count;
+    g.classes = classes;
+    for (std::uint32_t i = 0; i < count; ++i) ops_[num_ops_ + i] = ops[i];
+    num_ops_ += count;
+    ++num_groups_;
+    return &g;
+  }
+
+ private:
+  DelegateGroup<DS> groups_[kMaxDelegateGroups];
+  Operation<DS>* ops_[util::kMaxThreads] = {};
+  std::size_t num_groups_ = 0;
+  std::size_t num_ops_ = 0;
+};
+
+// Per-class commutativity matrix gating delegated-session admission.
+//
+// States per (symmetric) class pair: off (never delegated together — the
+// conservative default), on (seeded by the adapter), demoted (seeded, but
+// observed HTM-conflict aborts crossed kDemoteConflicts; treated as off
+// until kReprobeSessions sessions pass, then restored to re-probe).
+//
+// All counters are relaxed raw atomics: the graph is a performance hint
+// read outside transactions; a stale read mis-admits one session's worth
+// of groups, which the abort path then counts — never a safety issue.
+class ConflictGraph {
+ public:
+  // Observed-conflict budget before a seeded pair is demoted.
+  static constexpr std::uint32_t kDemoteConflicts = 64;
+  // Sessions a demoted pair sits out before it is re-probed.
+  static constexpr std::uint32_t kReprobeSessions = 512;
+
+  // Adapter-side static seeding (symmetric).
+  void seed(int a, int b, bool commutes_flag = true) noexcept {
+    pair(a, b).commute.store(commutes_flag ? kOn : kOff,
+                             std::memory_order_relaxed);
+    pair(b, a).commute.store(commutes_flag ? kOn : kOff,
+                             std::memory_order_relaxed);
+  }
+
+  bool commutes(int a, int b) const noexcept {
+    return pair(a, b).commute.load(std::memory_order_relaxed) == kOn;
+  }
+
+  // True iff every class pair across `mask_a` x `mask_b` commutes (a class
+  // always "commutes" with a mask it does not intersect; same-class pairs
+  // must be seeded too — e.g. two insert groups only run concurrently if
+  // insert/insert is seeded).
+  bool masks_commute(std::uint32_t mask_a, std::uint32_t mask_b) const noexcept {
+    for (int a = 0; a < kMaxOpClasses; ++a) {
+      if ((mask_a & (1u << a)) == 0) continue;
+      for (int b = 0; b < kMaxOpClasses; ++b) {
+        if ((mask_b & (1u << b)) == 0) continue;
+        if (!commutes(a, b)) return false;
+      }
+    }
+    return true;
+  }
+
+  // Online refinement: an HTM conflict abort while a delegated session was
+  // in flight charges every admitted class pair. Crossing the budget
+  // demotes the pair (stamped with the session counter for re-probe).
+  void record_conflict(std::uint32_t mask_a, std::uint32_t mask_b) noexcept {
+    const std::uint32_t now = sessions_.load(std::memory_order_relaxed);
+    for (int a = 0; a < kMaxOpClasses; ++a) {
+      if ((mask_a & (1u << a)) == 0) continue;
+      for (int b = 0; b < kMaxOpClasses; ++b) {
+        if ((mask_b & (1u << b)) == 0) continue;
+        PairState& p = pair(a, b);
+        const std::uint32_t c =
+            p.conflicts.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (c >= kDemoteConflicts &&
+            p.commute.load(std::memory_order_relaxed) == kOn) {
+          p.commute.store(kDemoted, std::memory_order_relaxed);
+          p.demoted_at.store(now, std::memory_order_relaxed);
+        }
+      }
+    }
+  }
+
+  // A clean (committed) delegated session decays the admitted pairs'
+  // conflict counts so a burst of aborts must be sustained to demote.
+  void record_clean(std::uint32_t mask) noexcept {
+    for (int a = 0; a < kMaxOpClasses; ++a) {
+      if ((mask & (1u << a)) == 0) continue;
+      for (int b = 0; b < kMaxOpClasses; ++b) {
+        if ((mask & (1u << b)) == 0) continue;
+        PairState& p = pair(a, b);
+        std::uint32_t c = p.conflicts.load(std::memory_order_relaxed);
+        if (c > 0) p.conflicts.store(c - 1, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  // Called once per delegating session; restores demoted pairs whose
+  // sit-out expired so a shifted workload gets re-probed.
+  void on_session() noexcept {
+    const std::uint32_t now =
+        sessions_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if ((now & (kReprobeSessions - 1)) != 0) return;
+    for (int a = 0; a < kMaxOpClasses; ++a) {
+      for (int b = 0; b < kMaxOpClasses; ++b) {
+        PairState& p = pair(a, b);
+        if (p.commute.load(std::memory_order_relaxed) != kDemoted) continue;
+        if (now - p.demoted_at.load(std::memory_order_relaxed) >=
+            kReprobeSessions) {
+          p.conflicts.store(0, std::memory_order_relaxed);
+          p.commute.store(kOn, std::memory_order_relaxed);
+        }
+      }
+    }
+  }
+
+ private:
+  static constexpr std::uint8_t kOff = 0;
+  static constexpr std::uint8_t kOn = 1;
+  static constexpr std::uint8_t kDemoted = 2;
+
+  struct PairState {
+    std::atomic<std::uint8_t> commute{kOff};     // lint:allow(raw-atomic-in-core)
+    std::atomic<std::uint32_t> conflicts{0};     // lint:allow(raw-atomic-in-core)
+    std::atomic<std::uint32_t> demoted_at{0};    // lint:allow(raw-atomic-in-core)
+  };
+
+  PairState& pair(int a, int b) noexcept {
+    return matrix_[static_cast<std::size_t>(a % kMaxOpClasses)]
+                  [static_cast<std::size_t>(b % kMaxOpClasses)];
+  }
+  const PairState& pair(int a, int b) const noexcept {
+    return matrix_[static_cast<std::size_t>(a % kMaxOpClasses)]
+                  [static_cast<std::size_t>(b % kMaxOpClasses)];
+  }
+
+  PairState matrix_[kMaxOpClasses][kMaxOpClasses];
+  std::atomic<std::uint32_t> sessions_{0};  // lint:allow(raw-atomic-in-core)
+};
+
+}  // namespace hcf::core

@@ -28,6 +28,12 @@ struct EngineStats {
   util::Counter scan_words_skipped;  // empty 64-slot words skipped per scan
   util::Counter batch_groups;        // distinct combine-key groups formed
   util::Counter batch_group_sizes;   // ops covered by those groups
+  // Parallel combining (core/delegation.hpp, DESIGN.md §13).
+  util::Counter delegated_groups;    // groups published for delegates
+  util::Counter delegated_ops;       // ops inside those groups
+  util::Counter delegate_applies;    // groups applied by their delegate
+  util::Counter delegate_fallbacks;  // unclaimed groups applied by combiner
+  util::Counter delegate_conflict_aborts;  // HTM conflicts in delegated runs
 
   void record_completion(int cls, Phase phase) noexcept {
     completions[static_cast<std::size_t>(cls % kMaxOpClasses)]
@@ -85,6 +91,11 @@ struct EngineStats {
     scan_words_skipped.reset();
     batch_groups.reset();
     batch_group_sizes.reset();
+    delegated_groups.reset();
+    delegated_ops.reset();
+    delegate_applies.reset();
+    delegate_fallbacks.reset();
+    delegate_conflict_aborts.reset();
   }
 };
 
@@ -100,6 +111,11 @@ struct EngineStatsSnapshot {
   std::uint64_t scan_words_skipped = 0;
   std::uint64_t batch_groups = 0;
   std::uint64_t batch_group_sizes = 0;
+  std::uint64_t delegated_groups = 0;
+  std::uint64_t delegated_ops = 0;
+  std::uint64_t delegate_applies = 0;
+  std::uint64_t delegate_fallbacks = 0;
+  std::uint64_t delegate_conflict_aborts = 0;
 
   static EngineStatsSnapshot capture(const EngineStats& s) noexcept {
     EngineStatsSnapshot snap;
@@ -118,6 +134,11 @@ struct EngineStatsSnapshot {
     snap.scan_words_skipped = s.scan_words_skipped.total();
     snap.batch_groups = s.batch_groups.total();
     snap.batch_group_sizes = s.batch_group_sizes.total();
+    snap.delegated_groups = s.delegated_groups.total();
+    snap.delegated_ops = s.delegated_ops.total();
+    snap.delegate_applies = s.delegate_applies.total();
+    snap.delegate_fallbacks = s.delegate_fallbacks.total();
+    snap.delegate_conflict_aborts = s.delegate_conflict_aborts.total();
     return snap;
   }
 
@@ -138,6 +159,12 @@ struct EngineStatsSnapshot {
     d.scan_words_skipped = scan_words_skipped - base.scan_words_skipped;
     d.batch_groups = batch_groups - base.batch_groups;
     d.batch_group_sizes = batch_group_sizes - base.batch_group_sizes;
+    d.delegated_groups = delegated_groups - base.delegated_groups;
+    d.delegated_ops = delegated_ops - base.delegated_ops;
+    d.delegate_applies = delegate_applies - base.delegate_applies;
+    d.delegate_fallbacks = delegate_fallbacks - base.delegate_fallbacks;
+    d.delegate_conflict_aborts =
+        delegate_conflict_aborts - base.delegate_conflict_aborts;
     return d;
   }
 

@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <span>
 
+#include "core/delegation.hpp"
 #include "core/types.hpp"
 #include "sim_htm/txcell.hpp"
 #include "util/cacheline.hpp"
@@ -72,6 +73,20 @@ class Operation {
   virtual bool combine_keyed() const { return false; }
   virtual std::uint64_t combine_key() const { return 0; }
 
+  // Delegation grouping hook (core/delegation.hpp): when delegate_keyed()
+  // is true and the class policy enables delegation, the combiner
+  // partitions the selected batch into runs of equal delegate_key() and
+  // hands whole runs back to waiting clients to apply in parallel. Two
+  // operations with the same delegate_key must be safe to apply in one
+  // run_multi call (they are — that is run_multi's existing contract); two
+  // *different* keys are only applied concurrently if the engine's
+  // ConflictGraph says their classes commute. Defaults to the combine key
+  // so keyed adapters delegate along their existing grouping; adapters
+  // whose combine key is too fine (e.g. hash tables grouping per bucket)
+  // override with a coarser partition.
+  virtual bool delegate_keyed() const { return combine_keyed(); }
+  virtual std::uint64_t delegate_key() const { return combine_key(); }
+
   // Sharding hook (core/sharded_engine.hpp): a well-mixed 64-bit hash of
   // the operation's target; the sharded meta-engine selects a shard from
   // its high bits. Any two operations that may touch the same state must
@@ -90,6 +105,7 @@ class Operation {
   void prepare() noexcept {
     status_.init(static_cast<std::uint32_t>(OpStatus::UnAnnounced));
     completed_phase_ = Phase::Private;
+    delegate_group_.store(nullptr, std::memory_order_relaxed);
   }
 
   OpStatus status() const noexcept {
@@ -108,8 +124,15 @@ class Operation {
   }
 
   // Combiner selection: dooms the owner's in-flight speculative attempt
-  // (strong store bumps the status word's orec).
+  // (strong store bumps the status word's orec). Idempotent: a rescan that
+  // offers an already-selected op skips the store — the owner was doomed by
+  // the first transition, and a redundant strong store would bump the orec
+  // again, aborting unrelated readers that subscribed to the word since.
   void mark_being_helped() noexcept {
+    if ((status_.load() & kStatusMask) ==
+        static_cast<std::uint32_t>(OpStatus::BeingHelped)) {
+      return;
+    }
     status_.store(static_cast<std::uint32_t>(OpStatus::BeingHelped));
   }
 
@@ -153,16 +176,87 @@ class Operation {
     }
   }
 
+  // ---- delegation protocol (core/delegation.hpp, DESIGN.md §13) ----
+
+  // Combiner side: publish a delegated group with this op as its assignee.
+  // Requires status == BeingHelped (the op was selected, so the owner's
+  // speculation is already doomed — a plain exchange suffices). The group
+  // pointer is released *before* the status flips so a claimant's acquire
+  // of the status word makes the pointer visible. If the owner already
+  // parked (BeingHelped | parked), wake it: the whole point is for the
+  // owner to pick the group up.
+  void mark_delegated(DelegateGroup<DS>* group) noexcept {
+    assert(status() == OpStatus::BeingHelped);
+    delegate_group_.store(group, std::memory_order_release);
+    const std::uint32_t old = status_.exchange_plain(
+        static_cast<std::uint32_t>(OpStatus::Delegated));
+    if ((old & kParkedBit) != 0) util::wake_all(status_.wait_address());
+  }
+
+  // Claim the delegated group: exactly one caller (the woken owner or the
+  // combiner's fallback sweep) wins the Delegated -> BeingHelped CAS and
+  // owns the apply. The CAS is strong (dooming) which is harmless — nobody
+  // speculates on a Delegated op — and it preserves a parked bit a
+  // concurrent plain wait_done may have published. Returns false once the
+  // status has left Delegated (someone else won).
+  bool claim_delegation() noexcept {
+    std::uint32_t raw = status_.load();
+    while ((raw & kStatusMask) ==
+           static_cast<std::uint32_t>(OpStatus::Delegated)) {
+      const std::uint32_t next =
+          (raw & kParkedBit) |
+          static_cast<std::uint32_t>(OpStatus::BeingHelped);
+      if (status_.cas(raw, next)) return true;
+      raw = status_.load();
+    }
+    return false;
+  }
+
+  // Valid after winning claim_delegation() (the claim's acquire pairs with
+  // mark_delegated's release); the pointer targets the delegating
+  // combiner's stack and must not be touched after the group's done word
+  // is set (DelegateGroup::finish is the claimant's last access).
+  DelegateGroup<DS>* delegate_group() const noexcept {
+    return delegate_group_.load(std::memory_order_acquire);
+  }
+
+  // wait_done variant for owners whose engine delegates: returns Done as
+  // usual, but also returns (without parking) on Delegated so the caller
+  // can try to claim the group and apply it itself. Never parks on a
+  // Delegated word — the claim attempt is the next step, not a sleep.
+  OpStatus wait_done_or_delegated(
+      util::WaitPolicy wait = util::WaitPolicy::SpinYield) const noexcept {
+    util::TieredWait waiter(util::WaitSite::kOpStatus, wait);
+    for (;;) {
+      const std::uint32_t raw = status_.load();
+      const std::uint32_t s = raw & kStatusMask;
+      if (s == static_cast<std::uint32_t>(OpStatus::Done) ||
+          s == static_cast<std::uint32_t>(OpStatus::Delegated)) {
+        return static_cast<OpStatus>(s);
+      }
+      if (!waiter.wait()) continue;
+      std::uint32_t expected = raw;
+      if ((expected & kParkedBit) == 0) {
+        if (!status_.cas(expected, expected | kParkedBit)) continue;
+        expected |= kParkedBit;
+      }
+      util::park(status_.wait_address(), expected);
+      waiter.reset();
+    }
+  }
+
   // Valid once status() == Done (or after the owner completed it itself).
   Phase completed_phase() const noexcept { return completed_phase_; }
 
  private:
   // The status word's MSB marks "the owner is parked on this word"; the
   // low bits hold the OpStatus. The bit can only be set while the status
-  // is BeingHelped (wait_done is only reached after a combiner selected
-  // the op, and the CAS above fails against any concurrent transition), so
-  // the sole later writer is mark_done — which checks it atomically via
-  // the exchange. status()/status_tx() mask it out.
+  // is BeingHelped (wait_done and wait_done_or_delegated are only reached
+  // after a combiner selected the op, neither parks on Done or Delegated,
+  // and the CAS above fails against any concurrent transition). The later
+  // writers all handle it atomically: mark_done and mark_delegated observe
+  // it through their exchange and wake, claim_delegation's CAS preserves
+  // it. status()/status_tx() mask it out.
   static constexpr std::uint32_t kParkedBit = 0x8000'0000u;
   static constexpr std::uint32_t kStatusMask = ~kParkedBit;
 
@@ -170,6 +264,10 @@ class Operation {
   mutable htm::TxCell<std::uint32_t> status_{
       static_cast<std::uint32_t>(OpStatus::UnAnnounced)};
   Phase completed_phase_ = Phase::Private;
+  // Delegation slot: written by the delegating combiner (mark_delegated),
+  // read by the claim winner. Raw atomic — never accessed transactionally.
+  std::atomic<DelegateGroup<DS>*> delegate_group_{
+      nullptr};  // lint:allow(raw-atomic-in-core)
 };
 
 // Sorts a selected batch by combine_key so run_multi receives ready-made

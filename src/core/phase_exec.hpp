@@ -69,6 +69,14 @@ struct PhasePolicy {
   int try_visible = 3;
   int try_combining = 5;
   bool announce = true;
+  // Parallel combining (core/delegation.hpp): a combiner of this class
+  // hands disjoint delegate-key groups of its selected batch back to
+  // waiting clients instead of applying everything itself. Multi-mode
+  // engines only; requires the adapter to be delegate_keyed and the
+  // engine's ConflictGraph to be seeded (seed_commutes) for the class
+  // pairs that may run concurrently. Off by default: the handshake only
+  // pays once batches are deep, and the graph decides per session.
+  bool delegate = false;
   // How this class's threads wait — on the data-structure lock, the
   // selection-lock competition, and their own op status (DESIGN.md §12).
   // SpinYield is the paper-faithful default; SpinPark escalates to futex
@@ -129,6 +137,7 @@ class AtomicPolicy {
     try_visible_.store(p.try_visible, std::memory_order_relaxed);
     try_combining_.store(p.try_combining, std::memory_order_relaxed);
     announce_.store(p.announce, std::memory_order_relaxed);
+    delegate_.store(p.delegate, std::memory_order_relaxed);
     wait_.store(static_cast<std::uint8_t>(p.wait), std::memory_order_relaxed);
   }
   PhasePolicy load() const noexcept {
@@ -136,6 +145,7 @@ class AtomicPolicy {
             try_visible_.load(std::memory_order_relaxed),
             try_combining_.load(std::memory_order_relaxed),
             announce_.load(std::memory_order_relaxed),
+            delegate_.load(std::memory_order_relaxed),
             static_cast<util::WaitPolicy>(
                 wait_.load(std::memory_order_relaxed))};
   }
@@ -145,6 +155,7 @@ class AtomicPolicy {
   std::atomic<int> try_visible_;    // lint:allow(raw-atomic-in-core)
   std::atomic<int> try_combining_;  // lint:allow(raw-atomic-in-core)
   std::atomic<bool> announce_;      // lint:allow(raw-atomic-in-core)
+  std::atomic<bool> delegate_;      // lint:allow(raw-atomic-in-core)
   std::atomic<std::uint8_t> wait_;  // lint:allow(raw-atomic-in-core)
 };
 
@@ -275,6 +286,15 @@ class PhaseMachine {
     return {classes_[cls].array, classes_[cls].policy.load()};
   }
 
+  // Commutativity graph gating delegated-session admission (parallel
+  // combining, core/delegation.hpp). Adapters seed the statically-known
+  // commuting class pairs at engine setup; the graph refines itself online
+  // from HTM conflict aborts observed while delegated sessions run.
+  ConflictGraph& conflict_graph() noexcept { return graph_; }
+  void seed_commutes(int a, int b, bool on = true) noexcept {
+    graph_.seed(a, b, on);
+  }
+
   // Dynamic reconfiguration (§2.4: "the customization may be dynamic").
   // Configuration affects only performance, never correctness, so this may
   // overlap with concurrent execute() calls: the policy fields are relaxed
@@ -316,9 +336,10 @@ class PhaseMachine {
     util::ExpBackoff backoff(
         util::backoff_seed(util::BackoffSite::kPhaseVisible));
     for (int attempt = 0; attempt < policy.try_visible; ++attempt) {
-      // A combiner may have selected (and completed) us already.
+      // A combiner may have selected (and completed) us already — or
+      // delegated a group to us (await_done claims and applies it).
       if (op.status() != OpStatus::Announced) {
-        op.wait_done(policy.wait);
+        await_done(op, pa, policy.wait);
         return true;
       }
       lock_.wait_until_free(policy.wait);
@@ -361,12 +382,16 @@ class PhaseMachine {
 
     std::vector<Op*>& ops_to_help = Core::scratch();
     ops_to_help.clear();
+    // Delegated-group storage for this combining session lives on this
+    // frame: finish_delegation below must drain every published group
+    // before the frame (and the groups' done words) goes away.
+    DelegationSession<DS> session;
     std::size_t session_ops = 0;
     bool holding_selection = false;
     bool done_combining;
     if (policy.announce || policy.try_combining > 0) {
       telemetry::phase_enter(static_cast<int>(Phase::Combining));
-      done_combining = try_combining(op, pa, policy, ops_to_help,
+      done_combining = try_combining(op, pa, policy, ops_to_help, session,
                                      session_ops, holding_selection);
       telemetry::phase_exit(static_cast<int>(Phase::Combining),
                             done_combining);
@@ -382,8 +407,16 @@ class PhaseMachine {
                                policy.wait);
       telemetry::phase_exit(static_cast<int>(Phase::UnderLock), true);
     }
+    // Delegated groups are part of this session: sweep unclaimed ones
+    // (serial fallback) and wait out claimed ones before the session's
+    // stack storage dies. Runs with no lock held.
+    if (session.num_groups() != 0) {
+      Core::finish_delegation(lock_, ds_, pa, session, graph_, stats_,
+                              policy.wait);
+    }
     // A combining session (if one started) is over once every selected op
-    // has been applied, speculatively or under the lock.
+    // has been applied — by us, speculatively or under the lock, or by the
+    // delegates we just waited for.
     if (session_ops != 0) telemetry::combine_end(session_ops);
     if constexpr (kMode == CombinerMode::SingleHolder) {
       release_selection_if_held(pa, holding_selection);
@@ -424,10 +457,15 @@ class PhaseMachine {
   // PublicationArray.
   NO_THREAD_SAFETY_ANALYSIS
   bool try_combining(Op& op, PubArray& pa, const PhasePolicy& policy,
-                     std::vector<Op*>& ops_to_help, std::size_t& session_ops,
+                     std::vector<Op*>& ops_to_help,
+                     DelegationSession<DS>& session, std::size_t& session_ops,
                      bool& holding_selection) {
     if (policy.announce) {
-      if (!Core::acquire_selection_or_done(op, pa, policy.wait)) return true;
+      if (!Core::acquire_selection_or_done(
+              op, pa, policy.wait,
+              [&] { await_done(op, pa, policy.wait); })) {
+        return true;
+      }
       telemetry::sel_lock_acquired();
       if (op.status() != OpStatus::Announced) {
         // Selected between our last check and the lock acquisition; the
@@ -435,7 +473,7 @@ class PhaseMachine {
         pa.selection_lock().unlock();
         pa.wake_epoch_waiters();  // liveness, see release_selection_if_held
         telemetry::sel_lock_released();
-        op.wait_done(policy.wait);
+        await_done(op, pa, policy.wait);
         return true;
       }
       Core::template select_batch<EP::kMarkBeingHelped>(op, pa, ops_to_help,
@@ -459,6 +497,17 @@ class PhaseMachine {
       stats_.ops_selected.add(ops_to_help.size());
       session_ops = ops_to_help.size();
       telemetry::combine_begin(session_ops);
+      // Parallel combining: hand disjoint key-groups of the batch back to
+      // their waiting owners (Multi only — delegation needs owners parked
+      // in wait_done rather than doomed by a held selection lock). The
+      // admitted groups leave ops_to_help; we apply the remainder below,
+      // concurrently with the delegates, and sweep stragglers in
+      // finish_delegation (visible_then_combine).
+      if constexpr (kMode == CombinerMode::Multi) {
+        if (policy.delegate) {
+          Core::delegate_batch(op, ops_to_help, session, graph_, stats_);
+        }
+      }
     } else {
       // Never-announced (TLE-like) class: we "combine" only our own op.
       ops_to_help.push_back(&op);
@@ -533,6 +582,30 @@ class PhaseMachine {
     for (auto& a : arrays_) a->wake_epoch_waiters();
   }
 
+  // Terminal wait once a combiner selected our op: in Multi mode a
+  // combiner may also *delegate* a group to us — claim it (exactly one
+  // winner against the combiner's fallback sweep) and apply it ourselves,
+  // which completes our own op as part of the group. Losing the claim
+  // means the fallback combiner owns the apply; go back to waiting for
+  // Done. Other modes never delegate, so plain wait_done suffices.
+  void await_done(Op& op, PubArray& pa, util::WaitPolicy wait) {
+    if constexpr (kMode == CombinerMode::Multi) {
+      for (;;) {
+        const OpStatus s = op.wait_done_or_delegated(wait);
+        if (s == OpStatus::Done) return;
+        if (op.claim_delegation()) {
+          Core::apply_delegated_group(lock_, ds_, op, pa, graph_, stats_,
+                                      wait, /*by_delegate=*/true);
+          assert(op.status() == OpStatus::Done);
+          return;
+        }
+      }
+    } else {
+      (void)pa;
+      op.wait_done(wait);
+    }
+  }
+
   void complete(Op& op, Phase phase) {
     op.mark_done(phase);
     stats_.record_completion(op.class_id(), phase);
@@ -551,6 +624,7 @@ class PhaseMachine {
   std::vector<std::unique_ptr<PubArray>> arrays_;
   Lock lock_;
   EngineStats stats_;
+  ConflictGraph graph_;
   int scan_rounds_;
 };
 

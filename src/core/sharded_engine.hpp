@@ -198,6 +198,15 @@ class ShardedEngine {
     for (auto& shard : shards_) shard->set_class_policy(cls, policy);
   }
 
+  // Commutativity seeding broadcast (parallel combining): each shard keeps
+  // its own ConflictGraph — shards share no state, so a pair demoted by
+  // one shard's abort storm stays delegable on the others.
+  void seed_commutes(int a, int b, bool on = true) noexcept
+    requires requires(Inner& e) { e.seed_commutes(a, b, on); }
+  {
+    for (auto& shard : shards_) shard->seed_commutes(a, b, on);
+  }
+
   // ---- introspection --------------------------------------------------
 
   std::size_t num_shards() const noexcept { return shards_.size(); }
@@ -225,6 +234,11 @@ class ShardedEngine {
     into.scan_words_skipped += from.scan_words_skipped;
     into.batch_groups += from.batch_groups;
     into.batch_group_sizes += from.batch_group_sizes;
+    into.delegated_groups += from.delegated_groups;
+    into.delegated_ops += from.delegated_ops;
+    into.delegate_applies += from.delegate_applies;
+    into.delegate_fallbacks += from.delegate_fallbacks;
+    into.delegate_conflict_aborts += from.delegate_conflict_aborts;
   }
 
   // tsa: a loop over N runtime shard locks acquires/releases a capability

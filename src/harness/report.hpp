@@ -171,6 +171,12 @@ class JsonReport {
        << ", \"rounds\": " << r.engine.combine_rounds
        << ", \"helped_ops\": " << r.engine.helped_ops << ", \"degree\": "
        << detail::json_double(r.engine.combining_degree()) << "},\n";
+    os << "     \"delegation\": {\"groups\": " << r.engine.delegated_groups
+       << ", \"ops\": " << r.engine.delegated_ops
+       << ", \"delegate_applies\": " << r.engine.delegate_applies
+       << ", \"fallbacks\": " << r.engine.delegate_fallbacks
+       << ", \"conflict_aborts\": " << r.engine.delegate_conflict_aborts
+       << "},\n";
     os << "     \"htm\": {\"starts\": " << r.htm.starts
        << ", \"commits\": " << r.htm.commits
        << ", \"read_only_commits\": " << r.htm.read_only_commits

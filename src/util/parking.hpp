@@ -73,16 +73,21 @@ enum class ParkResult : std::uint8_t {
 
 // Global parking counters (always-on, cache-line-sharded like every other
 // util::Counter): parks that actually reached the kernel wait, wake calls
-// that issued a syscall, and parks that returned with the word unchanged.
+// that issued a syscall, parks that returned with the word unchanged, and
+// sched_yield calls from the yield tier (the oversubscription signal the
+// adaptive wait-policy controller watches — a high yields-per-op rate means
+// waiters are burning quanta that the combiner needs).
 struct ParkStats {
   Counter parks;
   Counter wakes;
   Counter spurious_wakes;
+  Counter yields;
 
   void reset() noexcept {
     parks.reset();
     wakes.reset();
     spurious_wakes.reset();
+    yields.reset();
   }
 };
 
@@ -287,11 +292,13 @@ class TieredWait {
         spin_for(tuning_.max_pause);
         return false;
       case WaitPolicy::SpinYield:
+        park_stats().yields.add();
         std::this_thread::yield();
         return false;
       case WaitPolicy::SpinPark:
         if (yields_ < tuning_.yields_before_park) {
           ++yields_;
+          park_stats().yields.add();
           std::this_thread::yield();
           return false;
         }

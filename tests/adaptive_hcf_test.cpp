@@ -141,6 +141,72 @@ TEST(AdaptiveHcf, ManualReconfigurationIsSafe) {
   mem::EbrDomain::instance().drain();
 }
 
+TEST(AdaptiveWaitFlip, ParksUnderPressureUnparksAfterDwell) {
+  // The wait-mode controller (AdaptiveOptions::adapt_wait) must flip
+  // SpinYield -> SpinPark on one oversubscribed window, and need
+  // park_dwell *consecutive* quiet windows to flip back — a pressure
+  // burst mid-dwell restarts the count (hysteresis).
+  Disjoint ds;
+  AdaptiveOptions options;
+  options.window = 256;
+  options.park_dwell = 3;
+  AdaptiveHcfEngine<Disjoint> engine(
+      ds, {ClassConfig{0, PhasePolicy::paper_default()}}, 1, options);
+  DisjointIncOp op;
+  // Exactly one controller window: execute() adapts at the boundary.
+  auto run_window = [&] {
+    for (std::uint64_t i = 0; i < options.window; ++i) engine.execute(op);
+  };
+  // Simulated oversubscription: the signal is yields per op over the
+  // window, so injecting into the global parking counter is
+  // indistinguishable from real waiters burning quanta.
+  auto inject_pressure = [&] {
+    util::park_stats().yields.add(10 * options.window);
+  };
+
+  ASSERT_FALSE(engine.parked_wait());
+  ASSERT_EQ(engine.class_config(0).policy.wait, util::WaitPolicy::SpinYield);
+
+  inject_pressure();
+  run_window();
+  EXPECT_TRUE(engine.parked_wait());
+  EXPECT_EQ(engine.wait_flips(), 1u);
+  EXPECT_EQ(engine.class_config(0).policy.wait, util::WaitPolicy::SpinPark);
+
+  // Two quiet windows: still parked (dwell is 3).
+  run_window();
+  run_window();
+  EXPECT_TRUE(engine.parked_wait());
+
+  // Pressure returns before the third quiet window: dwell restarts.
+  inject_pressure();
+  run_window();
+  EXPECT_TRUE(engine.parked_wait());
+  run_window();
+  run_window();
+  EXPECT_TRUE(engine.parked_wait());  // only two quiet windows since burst
+  run_window();
+  EXPECT_FALSE(engine.parked_wait());  // third quiet window: unpark
+  EXPECT_EQ(engine.wait_flips(), 2u);
+  // The class returns to its pre-flip baseline wait policy.
+  EXPECT_EQ(engine.class_config(0).policy.wait, util::WaitPolicy::SpinYield);
+}
+
+TEST(AdaptiveWaitFlip, DisabledControllerNeverFlips) {
+  Disjoint ds;
+  AdaptiveOptions options;
+  options.window = 256;
+  options.adapt_wait = false;
+  AdaptiveHcfEngine<Disjoint> engine(
+      ds, {ClassConfig{0, PhasePolicy::paper_default()}}, 1, options);
+  DisjointIncOp op;
+  util::park_stats().yields.add(100 * options.window);
+  for (std::uint64_t i = 0; i < 4 * options.window; ++i) engine.execute(op);
+  EXPECT_FALSE(engine.parked_wait());
+  EXPECT_EQ(engine.wait_flips(), 0u);
+  EXPECT_EQ(engine.class_config(0).policy.wait, util::WaitPolicy::SpinYield);
+}
+
 TEST(AdaptiveHcf, PreservesAnnounceFlagOfClass) {
   Disjoint ds;
   AdaptiveOptions options;

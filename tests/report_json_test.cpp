@@ -45,6 +45,11 @@ harness::JsonReport make_fixed_report() {
   hcf_row.engine.ops_selected = 25000;
   hcf_row.engine.combine_rounds = 6000;
   hcf_row.engine.helped_ops = 21000;
+  hcf_row.engine.delegated_groups = 1500;
+  hcf_row.engine.delegated_ops = 6000;
+  hcf_row.engine.delegate_applies = 1400;
+  hcf_row.engine.delegate_fallbacks = 100;
+  hcf_row.engine.delegate_conflict_aborts = 40;
   hcf_row.htm.starts = 200000;
   hcf_row.htm.commits = 115000;
   hcf_row.htm.read_only_commits = 60000;
@@ -99,6 +104,9 @@ TEST(ReportJson, ComputedFieldsAreConsistent) {
   // phase_total sums across classes: private 70000, visible 25000.
   EXPECT_NE(json.find("\"private\": 70000"), std::string::npos);
   EXPECT_NE(json.find("\"visible\": 25000"), std::string::npos);
+  // Parallel-combining block (delegated groups and who applied them).
+  EXPECT_NE(json.find("\"delegation\": {\"groups\": 1500"), std::string::npos);
+  EXPECT_NE(json.find("\"delegate_applies\": 1400"), std::string::npos);
   EXPECT_EQ(report.size(), 2u);
 }
 

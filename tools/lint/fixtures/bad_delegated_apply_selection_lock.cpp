@@ -1,0 +1,30 @@
+// lint:zone(core)
+// Negative fixture: a delegated-apply body that touches the selection
+// lock. The delegating combiner released selection before publishing the
+// group, so re-entering it here inverts the wait order against the
+// combiner parked on the group's done word.
+struct PubArray {
+  struct Lock {
+    void lock() {}
+    void unlock() {}
+  };
+  Lock& selection_lock() { return lock_; }
+  Lock lock_;
+};
+
+struct Group {
+  void finish() {}
+};
+
+void apply_delegated_group(PubArray& pa, Group* group) {
+  pa.selection_lock().lock();  // expect-lint: delegated-apply-no-selection-lock
+  pa.selection_lock().unlock();  // expect-lint: delegated-apply-no-selection-lock
+  group->finish();
+}
+
+// Call sites near selection code are exempt: only definitions are checked.
+void combiner_path(PubArray& pa, Group* group) {
+  pa.selection_lock().lock();
+  pa.selection_lock().unlock();
+  apply_delegated_group(pa, group);
+}

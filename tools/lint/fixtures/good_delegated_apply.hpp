@@ -1,0 +1,22 @@
+#pragma once
+// lint:zone(core)
+// Positive fixture: a delegated-apply body that stays away from the
+// selection lock — it copies the group out, applies, and signals the done
+// word. Other lock traffic (the data-structure lock for the serial
+// fallback) is legitimate.
+struct DsLock {
+  void lock() {}
+  void unlock() {}
+};
+
+struct Group {
+  int count = 0;
+  void finish() {}
+};
+
+inline void apply_delegated_group(DsLock& ds_lock, Group* group) {
+  ds_lock.lock();
+  group->count = 0;
+  ds_lock.unlock();
+  group->finish();
+}

@@ -1,0 +1,32 @@
+// A delegated-apply body that signals the group's done word (or publishes
+// the combined epoch) before retiring the group's ops: the sweeping
+// combiner treats finish() as "every member is Done" and lets the
+// delegation session's stack storage die, so pending ops are lost
+// (DESIGN.md §13). Retiring AFTER the publication does not repair it.
+
+struct Op {
+  void mark_done(int) {}
+};
+
+struct Group {
+  Op* ops[2];
+  unsigned long count = 0;
+  void finish() {}
+};
+
+struct PubArray {
+  void publish_combined(unsigned long) {}
+};
+
+void apply_delegated_group(Group* group) {
+  group->finish();  // expect-sema: sema-delegated-retire-before-publish
+  for (unsigned long i = 0; i < group->count; ++i) group->ops[i]->mark_done(2);
+}
+
+// Direct publish_combined inside a delegated apply without a preceding
+// retire is both the general rule violation and the delegated one.
+void apply_delegated_direct(Group* group, PubArray& pa) {
+  pa.publish_combined(group->count);  // expect-sema: sema-retire-before-publish, sema-delegated-retire-before-publish
+  for (unsigned long i = 0; i < group->count; ++i) group->ops[i]->mark_done(2);
+  group->finish();
+}

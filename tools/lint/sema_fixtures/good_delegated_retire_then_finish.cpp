@@ -1,0 +1,33 @@
+// Known-good delegated-apply shapes: the group's ops are retired — either
+// directly or through a combine helper the rule follows transitively
+// (mirroring CombineCore::apply_delegated_group -> combine_on_htm ->
+// retire_prefix) — before finish() releases the session storage.
+
+struct Op {
+  void mark_done(int) {}
+};
+
+struct Group {
+  Op* ops[2];
+  unsigned long count = 0;
+  void finish() {}
+};
+
+struct PubArray {
+  void publish_combined(unsigned long) {}
+};
+
+void retire_prefix(Group* group, PubArray& pa) {
+  for (unsigned long i = 0; i < group->count; ++i) group->ops[i]->mark_done(2);
+  pa.publish_combined(group->count);
+}
+
+void apply_delegated_group(Group* group, PubArray& pa) {
+  retire_prefix(group, pa);
+  group->finish();
+}
+
+void apply_delegated_direct(Group* group) {
+  for (unsigned long i = 0; i < group->count; ++i) group->ops[i]->mark_done(2);
+  group->finish();
+}

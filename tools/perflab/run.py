@@ -34,6 +34,7 @@ TABLE_BENCHES = [
     "fig5_avl_tree",
     "fig6_sharded",
     "fig7_oversub",
+    "fig8_parallel_combine",
     "pq_motivation",
     "deque_two_ends",
     "list_combining",
@@ -47,10 +48,11 @@ SUBSTRATE_BENCHES = ["micro_substrate", "micro_engine"]
 # The quick profile keeps total runtime around a minute on one core: a
 # subset of benches, two thread counts, and short measurement windows.
 QUICK_BENCHES = ["fig2_hash_table", "fig4_combining_stats", "fig6_sharded",
-                 "fig7_oversub", "micro_substrate", "micro_engine"]
+                 "fig7_oversub", "fig8_parallel_combine", "micro_substrate",
+                 "micro_engine"]
 QUICK_ARGS = ["--threads=1,2", "--duration-ms=50", "--warmup-ms=10"]
 QUICK_WORKLOAD = {"fig2_hash_table": "40f", "fig6_sharded": "40f",
-                  "fig7_oversub": "paper"}
+                  "fig7_oversub": "paper", "fig8_parallel_combine": "paper"}
 
 
 def parse_args(argv):
