@@ -27,6 +27,7 @@
 #include "util/backoff.hpp"
 #include "core/operation.hpp"
 #include "ds/avl_tree.hpp"
+#include "util/rng.hpp"
 
 namespace hcf::adapters {
 
@@ -53,6 +54,14 @@ class AvlOpBase : public core::Operation<ds::AvlTree<K>> {
   // pays the work once per key group — elimination saves the work, which
   // is the paper's premise.
   void set_work(std::uint32_t spins) noexcept { work_ = spins; }
+
+  // Opt-in hashed-key routing for the sharded meta-engine: each shard
+  // becomes an independent AVL tree over its hashed slice of key space.
+  // Off by default — a flat engine keeps every op on shard 0.
+  void set_sharded(bool on) noexcept { sharded_ = on; }
+  std::uint64_t shard_key() const noexcept override {
+    return sharded_ ? util::mix64(static_cast<std::uint64_t>(key_)) : 0;
+  }
 
   void run_seq(Tree& ds) override {
     switch (kind_) {
@@ -157,6 +166,7 @@ class AvlOpBase : public core::Operation<ds::AvlTree<K>> {
   K key_{};
   bool bool_result_ = false;
   std::uint32_t work_ = 0;
+  bool sharded_ = false;
   const Tree* tree_ = nullptr;
 };
 

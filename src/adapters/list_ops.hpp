@@ -14,6 +14,7 @@
 #include "core/operation.hpp"
 #include "ds/sorted_list.hpp"
 #include "util/backoff.hpp"
+#include "util/rng.hpp"
 
 namespace hcf::adapters {
 
@@ -36,6 +37,16 @@ class ListOpBase : public core::Operation<ds::SortedList<K>> {
   void set(K key) noexcept { key_ = key; }
   bool result() const noexcept { return bool_result_; }
   void set_work(std::uint32_t spins) noexcept { work_ = spins; }
+
+  // Opt-in hashed-key routing for the sharded meta-engine: the same
+  // SplitMix64 finalizer the hash-table ops shard with, so ops on one key
+  // always agree on a shard and each shard is an independent sorted list
+  // over its slice of key space. Off by default — a flat engine keeps
+  // every op on shard 0.
+  void set_sharded(bool on) noexcept { sharded_ = on; }
+  std::uint64_t shard_key() const noexcept override {
+    return sharded_ ? util::mix64(static_cast<std::uint64_t>(key_)) : 0;
+  }
 
   void run_seq(List& ds) override {
     switch (kind_) {
@@ -82,6 +93,7 @@ class ListOpBase : public core::Operation<ds::SortedList<K>> {
   K key_{};
   bool bool_result_ = false;
   std::uint32_t work_ = 0;
+  bool sharded_ = false;
 };
 
 template <htm::detail::TxValue K>

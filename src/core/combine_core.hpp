@@ -27,6 +27,7 @@
 #include "core/operation.hpp"
 #include "core/publication_array.hpp"
 #include "core/types.hpp"
+#include "mem/pool.hpp"
 #include "sim_htm/htm.hpp"
 #include "sync/tx_lock.hpp"
 #include "telemetry/telemetry.hpp"
@@ -341,6 +342,13 @@ struct CombineCore {
                         stats, wait, feedback, classes)) {
       combine_under_lock(lock, ds, assignee, pa, ops, stats, wait);
     }
+    // The group's retires ran on behalf of foreign owners: each node freed
+    // by run_multi routed toward its allocation-time owner's pool (the ops'
+    // owner_slot() tags name the announcing threads), batched in this
+    // thread's outbound bins. Push them to the owners' inboxes now — one
+    // CAS per destination pool — so a delegated apply frees remotely as
+    // part of the group, not whenever the bins next hit capacity.
+    mem::flush_remote_frees();
     // Every op in the group is Done and the epoch advanced (retire_prefix
     // inside the combiners above). Release the group back to the combiner;
     // after this store the session stack frame may die.
@@ -435,6 +443,10 @@ struct CombineCore {
         pa.publish_combined(k);
       }
       telemetry::combine_end(batch.size());
+      // Nodes retired on helped owners' behalf this round sit batched in
+      // our outbound bins; hand them to the owners' pools per session
+      // round rather than holding them to bin capacity.
+      mem::flush_remote_frees();
     }
     // Late safety net: if our own op is somehow still pending after the
     // last scan — impossible by construction (we announced before trying

@@ -31,6 +31,7 @@
 #include "sim_htm/txcell.hpp"
 #include "util/cacheline.hpp"
 #include "util/parking.hpp"
+#include "util/thread_id.hpp"
 
 namespace hcf::core {
 
@@ -105,8 +106,19 @@ class Operation {
   void prepare() noexcept {
     status_.init(static_cast<std::uint32_t>(OpStatus::UnAnnounced));
     completed_phase_ = Phase::Private;
+    owner_slot_ = util::this_thread_id();
     delegate_group_.store(nullptr, std::memory_order_relaxed);
   }
+
+  // Reclamation ownership tag (mem/pool.hpp): the pool slot of the thread
+  // that announced this operation. A combiner or delegate running this
+  // op's retires frees nodes whose block headers name their allocation-
+  // time owners — often this slot — and the mem:: facade routes each such
+  // free to the owner's remote inbox rather than the applier's limbo. The
+  // tag marks the op as carrying foreign-pool traffic, so session code
+  // batch-flushes outbound bins once per group/session
+  // (mem::flush_remote_frees) instead of per node.
+  std::size_t owner_slot() const noexcept { return owner_slot_; }
 
   OpStatus status() const noexcept {
     return static_cast<OpStatus>(status_.load() & kStatusMask);
@@ -264,6 +276,7 @@ class Operation {
   mutable htm::TxCell<std::uint32_t> status_{
       static_cast<std::uint32_t>(OpStatus::UnAnnounced)};
   Phase completed_phase_ = Phase::Private;
+  std::size_t owner_slot_ = 0;
   // Delegation slot: written by the delegating combiner (mark_delegated),
   // read by the claim winner. Raw atomic — never accessed transactionally.
   std::atomic<DelegateGroup<DS>*> delegate_group_{

@@ -43,6 +43,7 @@
 
 #include "core/combine_core.hpp"
 #include "core/engine_stats.hpp"
+#include "mem/pool.hpp"
 #include "core/operation.hpp"
 #include "core/publication_array.hpp"
 #include "core/types.hpp"
@@ -418,6 +419,11 @@ class PhaseMachine {
     // has been applied — by us, speculatively or under the lock, or by the
     // delegates we just waited for.
     if (session_ops != 0) telemetry::combine_end(session_ops);
+    // Session-boundary reclamation flush: retires run on the helped
+    // owners' behalf (their ops' owner_slot() pools) were batched into
+    // this thread's outbound bins; push them to the owners' inboxes in
+    // one CAS per destination before leaving the session.
+    if (session_ops != 0) mem::flush_remote_frees();
     if constexpr (kMode == CombinerMode::SingleHolder) {
       release_selection_if_held(pa, holding_selection);
     }

@@ -212,7 +212,7 @@ class AvlTree {
     if (n == nullptr) return;
     destroy(n->left.get());
     destroy(n->right.get());
-    delete n;
+    mem::dealloc(n);
   }
 
   static std::size_t count(Node* n) {

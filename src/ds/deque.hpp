@@ -34,7 +34,7 @@ class Deque {
     Node* n = left_.get();
     while (n != nullptr) {
       Node* next = n->next.get();
-      delete n;
+      mem::dealloc(n);
       n = next;
     }
   }

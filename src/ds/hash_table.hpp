@@ -49,7 +49,7 @@ class HashTable {
     Node* n = list_head_.get();
     while (n) {
       Node* next = n->list_next.get();
-      delete n;
+      mem::dealloc(n);
       n = next;
     }
   }

@@ -39,7 +39,7 @@ class SkipListPq {
     Node* n = head_.next[0].get();
     while (n != nullptr) {
       Node* next = n->next[0].get();
-      delete n;
+      mem::dealloc(n);
       n = next;
     }
   }

@@ -41,7 +41,7 @@ class SortedList {
     Node* n = head_.get();
     while (n != nullptr) {
       Node* next = n->next.get();
-      delete n;
+      mem::dealloc(n);
       n = next;
     }
   }

@@ -31,7 +31,7 @@ class Stack {
     Node* n = top_.get();
     while (n != nullptr) {
       Node* next = n->next.get();
-      delete n;
+      mem::dealloc(n);
       n = next;
     }
   }

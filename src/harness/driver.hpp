@@ -18,6 +18,7 @@
 #include <memory>
 
 #include "core/engine_stats.hpp"
+#include "mem/pool.hpp"
 #include "sim_htm/stats.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/affinity.hpp"
@@ -49,6 +50,10 @@ struct RunResult {
   double duration_s = 0.0;
   core::EngineStatsSnapshot engine;
   htm::StatsSnapshot htm;
+  // Reclamation traffic over the measurement window (mem/pool.hpp): how
+  // many retires stayed local vs. crossed pools, and the batching those
+  // crossings got (flush CASes, owner drains, refills).
+  mem::ReclaimSnapshot reclaim;
   std::uint64_t lock_acquisitions = 0;
   // Operation latency percentiles in nanoseconds; only populated when
   // DriverOptions::measure_latency is set.
@@ -170,6 +175,7 @@ RunResult run_timed(Engine& engine, std::size_t num_threads,
   htm::stats().reset();
   const auto base_htm = htm::StatsSnapshot::capture();
   const auto base_engine = detail::capture_stats(engine);
+  const auto base_reclaim = mem::ReclaimSnapshot::capture();
   const auto start = std::chrono::steady_clock::now();
   measuring.store(true, std::memory_order_relaxed);
 
@@ -227,6 +233,7 @@ RunResult run_timed(Engine& engine, std::size_t num_threads,
   result.total_ops = running_total();
   result.engine = detail::capture_stats(engine).delta_since(base_engine);
   result.htm = htm::StatsSnapshot::capture().delta_since(base_htm);
+  result.reclaim = mem::ReclaimSnapshot::capture().delta_since(base_reclaim);
   result.lock_acquisitions = engine.lock_acquisitions();
   if (histogram != nullptr) {
     result.latency_p50_ns = histogram->percentile(0.50);

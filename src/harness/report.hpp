@@ -188,6 +188,14 @@ class JsonReport {
        << r.htm.aborts[static_cast<int>(htm::AbortCode::Explicit)]
        << ", \"lock_busy\": "
        << r.htm.aborts[static_cast<int>(htm::AbortCode::LockBusy)] << "}},\n";
+    os << "     \"reclamation\": {\"local_retires\": "
+       << r.reclaim.local_retires
+       << ", \"remote_retires\": " << r.reclaim.remote_retires
+       << ", \"remote_flushes\": " << r.reclaim.remote_flushes
+       << ", \"remote_drains\": " << r.reclaim.remote_drains
+       << ", \"drained_blocks\": " << r.reclaim.drained_blocks
+       << ", \"batches_sealed\": " << r.reclaim.batches_sealed
+       << ", \"pool_refills\": " << r.reclaim.pool_refills << "},\n";
     os << "     \"lock_acquisitions\": " << r.lock_acquisitions
        << ", \"latency_ns\": {\"p50\": " << r.latency_p50_ns
        << ", \"p99\": " << r.latency_p99_ns

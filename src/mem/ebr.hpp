@@ -1,4 +1,5 @@
-// Epoch-based reclamation (EBR), classic three-epoch scheme.
+// Epoch-based reclamation (EBR), classic three-epoch scheme, with batched
+// epoch checks and pool-aware limbo lists.
 //
 // Why the simulator needs it: with lazy-versioning transactions, a doomed
 // transaction can hold a raw pointer to a node that a concurrent committer
@@ -8,13 +9,31 @@
 // hold such a pointer has finished. Every engine operation runs under an
 // ebr::Guard; frees requested during the run are deferred until two epoch
 // advances have passed.
+//
+// Batching (DESIGN.md §14): retirements accumulate in an *open* batch that
+// never touches the global epoch; the batch is stamped once when it seals.
+// A later stamp is conservative — epochs only grow, and freeing still
+// requires two advances past the stamp — so correctness is unchanged while
+// the global-epoch load and the collect sweep amortize over the batch. The
+// same batch carrier absorbs chains drained from this thread's pool inbox
+// (pool.hpp): pre-grace remote retirements from other threads enter the
+// owner's limbo here, stamped at drain time.
+//
+// Thread exit hands both kinds of leftovers to the shared orphan list:
+// regular deleter batches, and pool-block chains re-marked to return to the
+// arena's central lists (the dead slot may be recycled, so no foreign
+// thread may touch that pool's private free lists). EbrDomain::drain()
+// additionally sweeps every pool's inbox so queued remote frees from
+// exited threads cannot outlive shutdown.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
+#include "mem/pool.hpp"
 #include "sync/spinlock.hpp"
 #include "util/cacheline.hpp"
 #include "util/thread_annotations.hpp"
@@ -33,10 +52,41 @@ struct Reservation {
 struct RetiredNode {
   void* ptr;
   void (*deleter)(void*);
-  std::uint64_t epoch;
+};
+
+// One epoch-stamped unit of deferred reclamation: heterogeneous deleter
+// entries plus (optionally) a header-linked chain of pool blocks drained
+// from an inbox. `to_central` marks orphaned chains whose owner slot may
+// have been recycled: they go back to the arena instead of a free list.
+struct Batch {
+  std::uint64_t epoch = 0;
+  std::vector<RetiredNode> nodes;
+  BlockHeader* chain = nullptr;
+  std::size_t chain_len = 0;
+  bool to_central = false;
+
+  std::size_t size() const noexcept { return nodes.size() + chain_len; }
 };
 
 }  // namespace detail
+
+// Runtime-tunable collect threshold (satellite of the pool batch sizes in
+// pool.hpp): entries a limbo list accumulates before collect() runs.
+namespace detail {
+inline std::atomic<std::size_t>& collect_threshold_value() noexcept {
+  static std::atomic<std::size_t> v{
+      env_or("HCF_EBR_COLLECT_THRESHOLD", 64, 1, 1u << 20)};
+  return v;
+}
+}  // namespace detail
+
+inline std::size_t collect_threshold() noexcept {
+  return detail::collect_threshold_value().load(std::memory_order_relaxed);
+}
+inline void set_collect_threshold(std::size_t n) noexcept {
+  assert(n >= 1 && n <= (1u << 20) && "collect threshold out of sane bounds");
+  detail::collect_threshold_value().store(n, std::memory_order_relaxed);
+}
 
 // The domain itself is a shared capability: holding it (via enter/exit or
 // the RAII Guard) is the read-side critical section that keeps retired
@@ -73,12 +123,15 @@ class CAPABILITY("ebr.domain") EbrDomain {
 
   bool in_critical_section() noexcept { return slot().depth > 0; }
 
-  // Defers destruction of `p` until a grace period has elapsed.
+  // Defers destruction of `p` until a grace period has elapsed. The entry
+  // joins the open batch without touching the global epoch; the batch is
+  // stamped when it seals (conservatively later — safe, see header).
   void retire(void* p, void (*deleter)(void*)) {
     auto& limbo = limbo_list();
-    limbo.push_back({p, deleter,
-                     global_epoch_.load(std::memory_order_acquire)});
-    if (limbo.size() >= kCollectThreshold) collect(limbo);
+    limbo.open.push_back({p, deleter});
+    ++limbo.total;
+    if (limbo.open.size() >= seal_batch_size()) seal_open(limbo);
+    if (limbo.total >= collect_threshold()) collect(limbo);
   }
 
   template <typename T>
@@ -86,15 +139,43 @@ class CAPABILITY("ebr.domain") EbrDomain {
     retire(p, [](void* q) { delete static_cast<T*>(q); });
   }
 
-  // Test/shutdown hook: advance epochs and free everything that becomes
-  // safe. Must be called outside any guard with no concurrent guards for a
-  // full drain.
+  // Shutdown/test hook: advance epochs and free everything that becomes
+  // safe, including queued remote frees from exited threads. Must be
+  // called outside any guard; converges fully only when no other thread is
+  // concurrently inside a guard or holding unflushed outbound bins.
+  // Replaces the old fixed-iteration loop with a convergence check: loop
+  // until limbo + orphans + every pool inbox are empty, or an epoch fails
+  // to advance (a pinned reservation — no further frees can mature).
   void drain() EXCLUDES(this) {
     auto& limbo = limbo_list();
-    for (int i = 0; i < 4 && !(limbo.empty() && orphans_empty()); ++i) {
+    for (;;) {
+      flush_remote_frees();
+      drain_all_inboxes(limbo);
+      seal_open(limbo);
+      const std::uint64_t before =
+          global_epoch_.load(std::memory_order_seq_cst);
       try_advance();
-      collect(limbo);
+      sweep(limbo, /*force=*/true);
+      // The sweep's deleters route foreign blocks into this thread's
+      // outbound bins; push them before judging emptiness, or the final
+      // round would report converged with blocks still parked locally.
+      flush_remote_frees();
+      if (limbo.empty() && orphans_empty() && all_inboxes_empty()) return;
+      if (global_epoch_.load(std::memory_order_seq_cst) == before) return;
     }
+  }
+
+  // Allocation-slow-path absorb: pool.hpp routes its refill-time inbox
+  // drain here (via the registered hook below) so deferred chains land in
+  // the limbo as stamped batches instead of being requeued. Without this,
+  // a thread whose nodes are all retired remotely — a client whose
+  // combiner frees on its behalf — would never cross the retire-count
+  // collect threshold, and its inbox would grow without bound.
+  void absorb_for_alloc() {
+    auto& limbo = limbo_list();
+    absorb_inbox(limbo,
+                 detail::this_pool().drain_inbox(/*accept_deferred=*/true));
+    if (limbo.total >= collect_threshold()) collect(limbo);
   }
 
   std::uint64_t epoch() const noexcept {
@@ -102,35 +183,75 @@ class CAPABILITY("ebr.domain") EbrDomain {
   }
 
   // Number of entries waiting in this thread's limbo list (for tests).
-  std::size_t local_limbo_size() { return limbo_list().size(); }
+  std::size_t local_limbo_size() { return limbo_list().total; }
 
  private:
-  static constexpr std::size_t kCollectThreshold = 64;
-
   EbrDomain() = default;
+
+  // Batches sealed per collect window; keeps the epoch-load amortization
+  // proportional to the tunable threshold.
+  static std::size_t seal_batch_size() noexcept {
+    const std::size_t t = collect_threshold() / 4;
+    return t > 0 ? t : 1;
+  }
 
   detail::Reservation& slot() noexcept {
     return reservations_[util::this_thread_id()].value;
   }
 
-  // Thread-local limbo list. On thread exit remaining entries are handed to
-  // the shared orphan list so another thread can reclaim them later.
-  struct LimboList : std::vector<detail::RetiredNode> {
-    // Global epoch value at the last free_safe sweep over this list; the
-    // sentinel forces the first collect to sweep. See collect().
+  // Thread-local limbo list: sealed epoch-stamped batches plus the open
+  // tail. On thread exit remaining entries are handed to the shared orphan
+  // list so another thread can reclaim them later; pool chains are
+  // re-marked to_central because the dead slot may be recycled.
+  struct LimboList {
+    std::vector<detail::Batch> sealed;
+    std::vector<detail::RetiredNode> open;
+    std::size_t total = 0;
+    // Global epoch value at the last sweep over this list; the sentinel
+    // forces the first collect to sweep. See sweep().
     std::uint64_t last_swept_epoch = ~std::uint64_t{0};
+
+    bool empty() const noexcept { return total == 0; }
+
     ~LimboList() {
-      if (!empty()) {
-        auto& dom = EbrDomain::instance();
-        sync::SpinGuard lk(dom.orphan_lock_);
-        dom.orphans_.insert(dom.orphans_.end(), begin(), end());
+      auto& dom = EbrDomain::instance();
+      dom.seal_open(*this);
+      if (sealed.empty()) return;
+      for (auto& b : sealed) {
+        if (b.chain != nullptr) b.to_central = true;
       }
+      sync::SpinGuard lk(dom.orphan_lock_);
+      for (auto& b : sealed) dom.orphans_.push_back(std::move(b));
     }
   };
 
   LimboList& limbo_list() {
     thread_local LimboList limbo;
     return limbo;
+  }
+
+  void seal_open(LimboList& limbo) {
+    if (limbo.open.empty()) return;
+    detail::Batch b;
+    b.epoch = global_epoch_.load(std::memory_order_acquire);
+    b.nodes = std::move(limbo.open);
+    limbo.open.clear();
+    limbo.sealed.push_back(std::move(b));
+    reclaim_stats().batches_sealed.add();
+  }
+
+  // Appends an inbox drain's deferred chain to the limbo as a stamped
+  // batch. Drain-time stamping is conservative: the nodes were retired at
+  // or before this epoch.
+  void absorb_inbox(LimboList& limbo, InboxDrain d) {
+    if (d.deferred == nullptr) return;
+    detail::Batch b;
+    b.epoch = global_epoch_.load(std::memory_order_acquire);
+    b.chain = d.deferred;
+    b.chain_len = d.deferred_count;
+    limbo.sealed.push_back(std::move(b));
+    limbo.total += d.deferred_count;
+    reclaim_stats().batches_sealed.add();
   }
 
   bool try_advance() noexcept {
@@ -149,19 +270,28 @@ class CAPABILITY("ebr.domain") EbrDomain {
   }
 
   void collect(LimboList& limbo) {
+    // Flush our pending outbound batches so owners can make progress, then
+    // drain our own inbox — the epoch-collect drain point (pool.hpp).
+    flush_remote_frees();
+    absorb_inbox(limbo, detail::this_pool().drain_inbox(
+                            /*accept_deferred=*/true));
     try_advance();
+    sweep(limbo, /*force=*/false);
+  }
+
+  void sweep(LimboList& limbo, bool force) {
     const std::uint64_t g = global_epoch_.load(std::memory_order_acquire);
     // If the epoch hasn't moved since this list was last swept, nothing can
     // have become freeable (freeability depends only on the global epoch,
-    // and nodes retired since carry the current epoch). Skipping the sweep
+    // and batches sealed since carry the current epoch). Skipping the sweep
     // matters under oversubscription: a thread preempted while pinned
     // freezes the epoch for its whole time off-CPU, and without this check
-    // every kCollectThreshold retires rescan the entire — growing — limbo
+    // every collect-threshold retires rescan the entire — growing — limbo
     // list fruitlessly, turning reclamation quadratic exactly when the
-    // machine is busiest.
-    if (g == limbo.last_swept_epoch) return;
+    // machine is busiest. drain() forces the sweep regardless.
+    if (!force && g == limbo.last_swept_epoch) return;
     limbo.last_swept_epoch = g;
-    free_safe(limbo, g);
+    limbo.total -= free_safe(limbo.sealed, g);
     // Opportunistically reclaim orphans from exited threads.
     if (!orphans_empty()) {
       sync::SpinGuard lk(orphan_lock_);
@@ -169,17 +299,89 @@ class CAPABILITY("ebr.domain") EbrDomain {
     }
   }
 
-  static void free_safe(std::vector<detail::RetiredNode>& list,
-                        std::uint64_t global) {
+  // Frees every batch whose stamp is two epochs stale; returns entries
+  // freed. One epoch comparison per *batch*, not per node.
+  static std::size_t free_safe(std::vector<detail::Batch>& batches,
+                               std::uint64_t global) {
     std::size_t kept = 0;
-    for (auto& node : list) {
-      if (global >= node.epoch + 2) {
-        node.deleter(node.ptr);
+    std::size_t freed = 0;
+    for (std::size_t i = 0; i < batches.size(); ++i) {
+      detail::Batch& b = batches[i];
+      if (global >= b.epoch + 2) {
+        freed += b.size();
+        free_batch(b);
       } else {
-        list[kept++] = node;
+        // Guard against self-move: vector move-assignment may clear the
+        // source, which here would silently wipe the batch's entries.
+        if (kept != i) batches[kept] = std::move(b);
+        ++kept;
       }
     }
-    list.resize(kept);
+    batches.resize(kept);
+    return freed;
+  }
+
+  static void free_batch(detail::Batch& b) {
+    for (auto& n : b.nodes) n.deleter(n.ptr);
+    if (b.chain == nullptr) return;
+    if (b.to_central) {
+      Arena::instance().take_back(b.chain);
+    } else {
+      BlockHeader* c = b.chain;
+      while (c != nullptr) {
+        BlockHeader* next = c->link;
+        free_block(c);
+        c = next;
+      }
+    }
+    b.chain = nullptr;
+  }
+
+  // Shutdown sweep over every pool inbox: our own drains normally; other
+  // slots' traffic — whether their owner exited or just never collected —
+  // is routed to the arena's central lists, with pre-grace chains parked
+  // on the orphan list until their stamp matures. take_all transfers
+  // exclusive ownership, so racing a (still-live) owner is safe: the two
+  // drainers split the queue.
+  void drain_all_inboxes(LimboList& limbo) {
+    const std::size_t self = util::this_thread_id();
+    for (std::size_t s = 0; s < util::kMaxThreads; ++s) {
+      Pool& p = detail::pool_for_slot(s);
+      if (s == self) {
+        absorb_inbox(limbo, p.drain_inbox(/*accept_deferred=*/true));
+        continue;
+      }
+      BlockHeader* chain = p.inbox().take_all();
+      if (chain == nullptr) continue;
+      BlockHeader* immediate = nullptr;
+      detail::Batch deferred;
+      deferred.epoch = global_epoch_.load(std::memory_order_acquire);
+      deferred.to_central = true;
+      while (chain != nullptr) {
+        BlockHeader* next = chain->link;
+        if ((chain->flags() & kFlagDeferred) != 0) {
+          chain->link = deferred.chain;
+          deferred.chain = chain;
+          ++deferred.chain_len;
+        } else {
+          chain->link = immediate;
+          immediate = chain;
+        }
+        chain = next;
+      }
+      if (immediate != nullptr) Arena::instance().take_back(immediate);
+      if (deferred.chain != nullptr) {
+        sync::SpinGuard lk(orphan_lock_);
+        orphans_.push_back(std::move(deferred));
+      }
+    }
+  }
+
+  static bool all_inboxes_empty() noexcept {
+    for (std::size_t s = 0; s < util::kMaxThreads; ++s) {
+      if (!detail::pool_for_slot(s).inbox().empty()) return false;
+    }
+    return true;
   }
 
   bool orphans_empty() {
@@ -192,8 +394,23 @@ class CAPABILITY("ebr.domain") EbrDomain {
   // An annotated SpinLock rather than std::mutex: libstdc++'s mutex carries
   // no capability attributes, so GUARDED_BY would be unenforceable.
   sync::SpinLock orphan_lock_;
-  std::vector<detail::RetiredNode> orphans_ GUARDED_BY(orphan_lock_);
+  std::vector<detail::Batch> orphans_ GUARDED_BY(orphan_lock_);
 };
+
+namespace detail {
+
+// Wires the allocation slow path (pool.hpp) to absorb_for_alloc at static
+// initialization. An inline variable so every TU shares one instance; the
+// store is idempotent anyway.
+struct DeferredAbsorbInit {
+  DeferredAbsorbInit() noexcept {
+    set_deferred_absorb_hook(
+        [] { EbrDomain::instance().absorb_for_alloc(); });
+  }
+};
+inline DeferredAbsorbInit g_deferred_absorb_init;
+
+}  // namespace detail
 
 // RAII read-side critical section.
 class SCOPED_CAPABILITY Guard {
@@ -205,10 +422,5 @@ class SCOPED_CAPABILITY Guard {
   Guard(const Guard&) = delete;
   Guard& operator=(const Guard&) = delete;
 };
-
-template <typename T>
-void retire(T* p) {
-  EbrDomain::instance().retire(p);
-}
 
 }  // namespace hcf::mem

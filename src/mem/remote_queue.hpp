@@ -1,0 +1,81 @@
+// MPSC remote-free queue: a Vyukov-style intrusive stack of pool blocks.
+//
+// Producers are arbitrary threads returning (or pre-retiring) blocks that
+// belong to another thread's pool; the consumer is the pool's owner, which
+// takes the entire accumulated chain with one exchange. Producers link
+// through the block *header* word — never through object storage — so a
+// pre-grace-period node can sit in the queue while doomed transactions are
+// still reading its fields (see pool.hpp, BlockHeader::link).
+//
+// Push is one CAS for a whole pre-linked chain; producers batch locally
+// (pool.hpp's outbound bins) so the CAS amortizes over the flush batch.
+// Consumption via exchange(nullptr) transfers exclusive ownership of the
+// grabbed chain, which also makes the shutdown drain (ebr.hpp) safe to run
+// against any pool: two concurrent drainers simply split the traffic.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "util/cacheline.hpp"
+
+namespace hcf::mem {
+
+struct BlockHeader;
+
+namespace detail {
+
+// Header-intrusive link accessors live in pool.hpp (they need the header
+// layout); the queue only moves opaque chain heads around.
+BlockHeader*& header_link(BlockHeader* h) noexcept;
+
+}  // namespace detail
+
+class RemoteQueue {
+ public:
+  RemoteQueue() = default;
+  RemoteQueue(const RemoteQueue&) = delete;
+  RemoteQueue& operator=(const RemoteQueue&) = delete;
+
+  // Pushes a producer-private chain head..tail (linked via header words,
+  // `n` blocks). Release ordering publishes the chain contents — header
+  // flags and, for post-grace blocks, the dead object bytes — to the
+  // consumer's acquire exchange.
+  void push_chain(BlockHeader* head, BlockHeader* tail, std::size_t n) noexcept {
+    BlockHeader* old = head_.load(std::memory_order_relaxed);
+    do {
+      detail::header_link(tail) = old;
+    } while (!head_.compare_exchange_weak(old, head,
+                                          std::memory_order_release,
+                                          std::memory_order_relaxed));
+    depth_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  void push(BlockHeader* h) noexcept { push_chain(h, h, 1); }
+
+  // Takes the whole current chain (LIFO order); returns nullptr when empty.
+  // The caller owns every block in the returned chain exclusively.
+  BlockHeader* take_all() noexcept {
+    if (head_.load(std::memory_order_relaxed) == nullptr) return nullptr;
+    BlockHeader* chain = head_.exchange(nullptr, std::memory_order_acquire);
+    if (chain != nullptr) depth_.store(0, std::memory_order_relaxed);
+    return chain;
+  }
+
+  bool empty() const noexcept {
+    return head_.load(std::memory_order_acquire) == nullptr;
+  }
+
+  // Approximate depth (producers race the consumer's reset); good enough
+  // for stats and the shutdown drain's convergence check.
+  std::size_t approx_depth() const noexcept {
+    return depth_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  alignas(util::kCacheLineSize) std::atomic<BlockHeader*> head_{nullptr};
+  std::atomic<std::size_t> depth_{0};
+};
+
+}  // namespace hcf::mem

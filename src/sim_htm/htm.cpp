@@ -52,6 +52,17 @@ Txn& txn() noexcept {
   return t;
 }
 
+// Let the memory layer refuse to drain remote-free queues inside a
+// transaction body without mem/ depending on sim_htm/ (mem/pool.hpp).
+namespace {
+struct InTxnProbeInit {
+  InTxnProbeInit() noexcept {
+    mem::set_in_txn_probe([] { return txn().active; });
+  }
+};
+InTxnProbeInit g_in_txn_probe_init;
+}  // namespace
+
 void throw_abort(AbortCode code) { throw TxAbort{code}; }
 
 bool validate_read_set(Txn& t, std::uint64_t self_tag) noexcept {
@@ -207,14 +218,15 @@ void flush_access_counters(Txn& t) noexcept {
 
 void finish_commit_bookkeeping(Txn& t) noexcept {
   // Allocations survive (ownership passed to the data structure); logical
-  // frees become EBR retirements so speculative readers stay safe.
-  t.alloc_log.clear();
-  for (const auto& r : t.retire_log) {
-    mem::EbrDomain::instance().retire(r.ptr, r.fn);
-  }
-  t.retire_log.clear();
+  // frees become facade retirements so speculative readers stay safe. The
+  // transaction is marked inactive *first*: the logged fns run mem::retire,
+  // whose collect path may drain the pool inbox — legal only outside a
+  // transaction body (mem/pool.hpp), and the write-back is already done.
   t.active = false;
   t.depth = 0;
+  t.alloc_log.clear();
+  for (const auto& r : t.retire_log) r.fn(r.ptr);
+  t.retire_log.clear();
   flush_access_counters(t);
   stats().commits.add();
 }

@@ -55,6 +55,7 @@
 #include <utility>
 #include <vector>
 
+#include "mem/alloc.hpp"
 #include "mem/ebr.hpp"
 #include "sim_htm/abort.hpp"
 #include "sim_htm/config.hpp"
@@ -457,10 +458,13 @@ inline bool attempt(F&& body) {
 // readers are done (EBR grace period).
 template <typename T, typename... Args>
 T* make(Args&&... args) {
-  T* p = new T(std::forward<Args>(args)...);
+  T* p = mem::alloc<T>(std::forward<Args>(args)...);
   auto& t = detail::txn();
   if (t.active) {
-    t.alloc_log.push_back({p, [](void* q) { delete static_cast<T*>(q); }});
+    // Abort unwind: the node was never published, so an immediate
+    // destroy+free through the facade is safe (no grace period needed).
+    t.alloc_log.push_back(
+        {p, [](void* q) { mem::dealloc(static_cast<T*>(q)); }});
   }
   return p;
 }
@@ -469,7 +473,11 @@ template <typename T>
 void retire(T* p) {
   auto& t = detail::txn();
   if (t.active) {
-    t.retire_log.push_back({p, [](void* q) { delete static_cast<T*>(q); }});
+    // Commit bookkeeping (htm.cpp) invokes the logged fn outside the
+    // transaction; going through mem::retire there keeps the facade's
+    // remote routing for nodes the committer does not own.
+    t.retire_log.push_back(
+        {p, [](void* q) { mem::retire(static_cast<T*>(q)); }});
   } else {
     mem::retire(p);
   }

@@ -352,5 +352,15 @@ inline void delegate_apply(bool by_delegate, std::size_t ops) noexcept {
   record(EventType::DelegateApply, by_delegate ? 1 : 0,
          static_cast<std::uint32_t>(ops));
 }
+// Batched reclamation (mem/pool.hpp): `n` blocks published to pool slot
+// `owner`'s MPSC inbox with one CAS ...
+inline void remote_retire_flush(std::size_t owner, std::size_t n) noexcept {
+  record(EventType::RemoteRetire, static_cast<std::uint8_t>(owner),
+         static_cast<std::uint32_t>(n));
+}
+// ... and `n` blocks drained out of an inbox by its owner.
+inline void remote_drain(std::size_t n) noexcept {
+  record(EventType::RemoteDrain, 0, static_cast<std::uint32_t>(n));
+}
 
 }  // namespace hcf::telemetry

@@ -71,6 +71,8 @@ struct TraceSummary {
   std::uint64_t events_by_shard[kMaxShardSlots] = {};  // any tagged event
   std::uint64_t routed_by_shard[kMaxShardSlots] = {};  // shard-route events
   std::uint64_t cross_shard_sweeps = 0;  // all-shard-lock operations begun
+  std::uint64_t remote_retire_blocks = 0;  // summed over remote-retire events
+  std::uint64_t remote_drain_blocks = 0;   // summed over remote-drain events
   int max_shard = -1;  // highest shard index seen; -1 = nothing sharded
   std::uint64_t events_pushed = 0;
   std::uint64_t events_dropped = 0;
@@ -130,6 +132,12 @@ inline TraceSummary collect_summary() {
         case EventType::CrossShardBegin:
           ++s.cross_shard_sweeps;
           break;
+        case EventType::RemoteRetire:
+          s.remote_retire_blocks += e.arg;
+          break;
+        case EventType::RemoteDrain:
+          s.remote_drain_blocks += e.arg;
+          break;
         default:
           break;
       }
@@ -171,6 +179,14 @@ inline void write_summary(std::ostream& os, const TraceSummary& s) {
        << " ops=" << s.ops_delegated
        << " delegate-applies=" << s.delegate_applies
        << " combiner-fallbacks=" << s.delegate_fallbacks << '\n';
+  }
+  if (s.count(EventType::RemoteRetire) != 0 ||
+      s.count(EventType::RemoteDrain) != 0) {
+    os << "[telemetry] reclamation: remote-flushes="
+       << s.count(EventType::RemoteRetire)
+       << " blocks-flushed=" << s.remote_retire_blocks
+       << " drains=" << s.count(EventType::RemoteDrain)
+       << " blocks-drained=" << s.remote_drain_blocks << '\n';
   }
   if (s.max_shard >= 0) {
     const int shown =
@@ -289,6 +305,15 @@ inline void write_chrome_trace(std::ostream& os) {
           if (cross_depth == 0) break;
           --cross_depth;
           emit(tid, e, 'E', "cross-shard", "");
+          break;
+        case EventType::RemoteRetire:
+          emit(tid, e, 'i', "remote-retire-flush",
+               "\"owner\":" + std::to_string(e.code) +
+                   ",\"blocks\":" + std::to_string(e.arg));
+          break;
+        case EventType::RemoteDrain:
+          emit(tid, e, 'i', "remote-drain",
+               "\"blocks\":" + std::to_string(e.arg));
           break;
         // ShardRoute is deliberately not drawn: one instant per routed
         // operation would swamp the timeline; the aggregate summary's

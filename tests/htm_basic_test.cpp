@@ -190,12 +190,16 @@ TEST(HtmBasic, MakeSurvivesCommit) {
   AllocTracker* p = nullptr;
   attempt([&] { p = make<AllocTracker>(); });
   EXPECT_EQ(AllocTracker::live.load(), 1);
-  delete p;
+  // make<> allocates through the pool facade, so the committed node must be
+  // released through it too — raw delete would corrupt the pool block.
+  mem::dealloc(p);
 }
 
 TEST(HtmBasic, RetireDeferredUntilCommitThenEbr) {
   AllocTracker::live = 0;
-  auto* p = new AllocTracker();
+  // retire() hands the pointer to the facade, which expects a pool-headered
+  // block — so the node must come from the facade, not raw new.
+  auto* p = mem::alloc<AllocTracker>();
   // Abort: retire must NOT free.
   attempt([&] {
     retire(p);
@@ -210,7 +214,7 @@ TEST(HtmBasic, RetireDeferredUntilCommitThenEbr) {
 
 TEST(HtmBasic, RetireOutsideTxnGoesStraightToEbr) {
   AllocTracker::live = 0;
-  retire(new AllocTracker());
+  retire(mem::alloc<AllocTracker>());
   mem::EbrDomain::instance().drain();
   EXPECT_EQ(AllocTracker::live.load(), 0);
 }

@@ -126,7 +126,9 @@ TEST(HtmOpacity, TraversalOverRetiringNodesIsSafe) {
   {
     Node* first = nullptr;
     for (int i = 0; i < kLen; ++i) {
-      auto* n = new Node;
+      // Through the facade: the writer below retires these via htm::retire,
+      // which expects pool-headered blocks.
+      auto* n = make<Node>();
       n->value.init(0);
       n->next.init(first);
       first = n;
@@ -189,7 +191,7 @@ TEST(HtmOpacity, TraversalOverRetiringNodesIsSafe) {
   Node* n = head.get();
   while (n != nullptr) {
     Node* nx = n->next.get();
-    delete n;
+    mem::dealloc(n);
     n = nx;
   }
   mem::EbrDomain::instance().drain();

@@ -1,0 +1,41 @@
+// lint:zone(ds)
+// Known-bad: raw new/delete on node paths in a ds/ structure. A raw `new`
+// produces a block with no ownership header, so a later htm::retire from
+// another thread reads garbage where pool.hpp expects magic/owner bits; a
+// raw `delete` of a facade-allocated node frees the *header* address minus
+// nothing — i.e. the object pointer — and corrupts the arena chunk.
+#pragma once
+
+#include <cstdint>
+
+namespace fixture {
+
+struct FacadeStack {
+  struct Node {
+    std::uint64_t value;
+    Node* next;
+  };
+
+  Node* head = nullptr;
+
+  void push(std::uint64_t v) {
+    Node* n = new Node{v, head};  // expect-lint: node-alloc-via-facade
+    head = n;
+  }
+
+  void pop() {
+    Node* n = head;
+    head = n->next;
+    delete n;  // expect-lint: node-alloc-via-facade
+  }
+
+  ~FacadeStack() {
+    while (head != nullptr) {
+      Node* n = head;
+      head = n->next;
+      delete n;  // expect-lint: node-alloc-via-facade
+    }
+  }
+};
+
+}  // namespace fixture

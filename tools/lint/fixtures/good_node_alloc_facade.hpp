@@ -1,0 +1,64 @@
+// lint:zone(ds)
+// Known-good: all node memory flows through the mem:: facade, so every
+// block carries the ownership header cross-thread retirement keys on.
+// Deleted special members spell `= delete` without being an allocation
+// expression, and a deliberate escape (a non-node scratch buffer) is
+// allow-listed with a justification.
+#pragma once
+
+#include <cstdint>
+
+namespace fixture {
+
+// Fixture stand-ins for the real facade (mem/alloc.hpp); the lexical rule
+// keys on the new/delete keywords, not on these names resolving.
+namespace mem {
+template <typename T, typename... Args>
+T* alloc(Args&&... args);
+template <typename T>
+void dealloc(T* p);
+template <typename T>
+void retire(T* p);
+}  // namespace mem
+
+struct FacadeStack {
+  struct Node {
+    std::uint64_t value;
+    Node* next;
+  };
+
+  Node* head = nullptr;
+
+  FacadeStack() = default;
+  FacadeStack(const FacadeStack&) = delete;
+  FacadeStack& operator=(const FacadeStack&) = delete;
+
+  void push(std::uint64_t v) {
+    Node* n = mem::alloc<Node>();
+    n->value = v;
+    n->next = head;
+    head = n;
+  }
+
+  void pop() {
+    Node* n = head;
+    head = n->next;
+    mem::retire(n);
+  }
+
+  ~FacadeStack() {
+    while (head != nullptr) {
+      Node* n = head;
+      head = n->next;
+      mem::dealloc(n);
+    }
+  }
+
+  // Non-node scratch memory may escape the facade deliberately, with the
+  // rationale on the allow line.
+  char* make_scratch(std::size_t n) {
+    return new char[n];  // lint:allow(node-alloc-via-facade) — untyped scratch, never retired
+  }
+};
+
+}  // namespace fixture

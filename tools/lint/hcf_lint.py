@@ -79,6 +79,14 @@ compiler dependency, by design):
                          and a claim winner re-entering selection while
                          the combiner parks on the group's done word
                          inverts the wait order (DESIGN.md §13)
+  node-alloc-via-facade  no raw new/delete expressions in src/ds/: node
+                         memory must flow through the mem:: facade
+                         (htm::make / htm::retire on operation paths,
+                         mem::alloc / mem::dealloc in teardown) so every
+                         block carries the ownership header that batched
+                         cross-thread retirement keys on; a raw delete of
+                         a pooled block is heap corruption. Deliberate
+                         escapes carry // lint:allow(node-alloc-via-facade)
   lint-directive         a lint:allow / lint:allow-file directive names a
                          rule this linter does not have (typo'd
                          suppressions otherwise fail silently open)
@@ -138,6 +146,9 @@ RULES: dict[str, str] = {
         "all-shard lock acquisition loops must walk shard indices ascending",
     "delegated-apply-no-selection-lock":
         "apply_delegated* bodies must never touch the selection lock",
+    "node-alloc-via-facade":
+        "no raw new/delete in src/ds/; node memory goes through mem::alloc"
+        "/mem::dealloc/mem::retire (htm::make/htm::retire on hot paths)",
     "lint-directive":
         "suppression directives must name rules that actually exist",
 }
@@ -151,7 +162,7 @@ SOURCE_EXTS = HEADER_EXTS | {".cpp", ".cc", ".cxx"}
 ALLOW_LINE_RE = re.compile(r"lint:allow\(([^)]*)\)")
 ALLOW_FILE_RE = re.compile(r"lint:allow-file\(([^)]*)\)")
 ZONE_RE = re.compile(
-    r"lint:zone\((sim_htm|core|telemetry|src|tests|other)\)")
+    r"lint:zone\((sim_htm|core|telemetry|ds|src|tests|other)\)")
 TELEMETRY_CORE_RE = re.compile(r"lint:telemetry-core")
 
 STRONG_CALL_RE = re.compile(
@@ -236,6 +247,13 @@ RETURN_RE = re.compile(r"\breturn\b")
 # The trailing `;` matters — `shards_[i]->lock().unlock();` contains the
 # accessor spelling `->lock(` but is a release, not an acquisition, and
 # must not match. The `.`/`->` prefix keeps `unlock()` itself out.
+# Any raw allocation expression in src/ds/. Operator names (`operator new`)
+# and the facade's own placement new live in mem/, not ds/, so a keyword
+# match is exact here once `= delete` (deleted special members — the only
+# non-expression use of either keyword) is filtered out in the check;
+# deliberate escapes carry lint:allow.
+NEW_DELETE_RE = re.compile(r"\b(new|delete)\b")
+
 FOR_LOOP_RE = re.compile(r"\bfor\s*\(")
 SHARD_LOCK_ACQ_RE = re.compile(r"(?:\.|->)\s*(?:try_)?lock\s*\(\s*\)\s*;")
 SHARD_WORD_RE = re.compile(r"\bshard", re.IGNORECASE)
@@ -326,6 +344,8 @@ def zone_for(path: str, raw_text: str) -> str:
         return "core"
     if "/src/telemetry/" in norm or norm.startswith("src/telemetry/"):
         return "telemetry"
+    if "/src/ds/" in norm or norm.startswith("src/ds/"):
+        return "ds"
     if "/src/" in norm or norm.startswith("src/"):
         return "src"
     if "/tests/" in norm or norm.startswith("tests/"):
@@ -420,7 +440,7 @@ class FileLinter:
                             "root-relative (see CMake include_directories)")
 
     def check_strong_outside_sim_htm(self) -> None:
-        if self.zone not in ("src", "core"):
+        if self.zone not in ("src", "core", "ds"):
             return
         for m in STRONG_CALL_RE.finditer(self.stripped):
             self.report(
@@ -502,7 +522,7 @@ class FileLinter:
                 "site (docs/static_analysis.md)")
 
     def check_scan_requires_selection_lock(self) -> None:
-        if self.zone not in ("core", "src", "tests"):
+        if self.zone not in ("core", "src", "ds", "tests"):
             return
         for m in SCAN_CALL_RE.finditer(self.stripped):
             line = self.line_of(m.start())
@@ -536,7 +556,7 @@ class FileLinter:
         return -1
 
     def check_cross_shard_lock_order(self) -> None:
-        if self.zone not in ("core", "src", "tests"):
+        if self.zone not in ("core", "src", "ds", "tests"):
             return
         for m in FOR_LOOP_RE.finditer(self.stripped):
             open_idx = m.end() - 1
@@ -587,7 +607,7 @@ class FileLinter:
                     "shard container")
 
     def check_delegated_apply_no_selection_lock(self) -> None:
-        if self.zone not in ("core", "src", "tests"):
+        if self.zone not in ("core", "src", "ds", "tests"):
             return
         for m in DELEGATED_APPLY_DEF_RE.finditer(self.stripped):
             close_paren = self.match_paren(m.end() - 1)
@@ -661,6 +681,32 @@ class FileLinter:
                     f"return between phase_enter({arg}) and its matching "
                     "phase_exit; early exits must emit phase_exit first "
                     "or hoist the return past the pair")
+
+    def check_node_alloc_via_facade(self) -> None:
+        if self.zone != "ds":
+            return
+        for m in NEW_DELETE_RE.finditer(self.stripped):
+            kw = m.group(1)
+            # `= delete` / `= new` is never an allocation: the former is a
+            # deleted special member, the latter is not valid C++ without an
+            # operand — but `x = new Node` IS, so only `delete` is exempt.
+            before = self.stripped[:m.start()].rstrip()
+            if kw == "delete" and before.endswith("="):
+                continue
+            if kw == "new":
+                self.report(
+                    self.line_of(m.start()), "node-alloc-via-facade",
+                    "raw 'new' in src/ds/; node allocation must go through "
+                    "htm::make (hot paths) or mem::alloc — pooled blocks "
+                    "carry the ownership header cross-thread retirement "
+                    "relies on")
+            else:
+                self.report(
+                    self.line_of(m.start()), "node-alloc-via-facade",
+                    "raw 'delete' in src/ds/; use mem::dealloc for "
+                    "single-owner teardown or htm::retire/mem::retire for "
+                    "published nodes — a raw delete on a pooled block "
+                    "corrupts the arena")
 
     def tx_bodies(self):
         """Yield (start_offset, end_offset) of every htm::attempt lambda
@@ -751,6 +797,7 @@ class FileLinter:
         self.check_scan_requires_selection_lock()
         self.check_cross_shard_lock_order()
         self.check_delegated_apply_no_selection_lock()
+        self.check_node_alloc_via_facade()
         self.check_phase_telemetry_pairing()
         self.check_tx_bodies()
         return self.diags
